@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper.  Simulated
+times come from the virtual clock at paper-equivalent scale (see
+DESIGN.md section 2); pytest-benchmark additionally reports the harness's
+own wall time per regeneration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tpch import generate
+
+#: Physical scale factor of the generated data and the data_scale that
+#: lifts it to the paper's evaluation scale (0.05 * 2048 ~ SF 100).
+PHYSICAL_SF = 0.05
+DATA_SCALE = 2048
+LOGICAL_SF = PHYSICAL_SF * DATA_SCALE
+PAPER_CHUNK = 2**25  # "size of chunks to be 2^25 ints" (Section V-C)
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return generate(PHYSICAL_SF, seed=11)

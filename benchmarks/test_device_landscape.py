@@ -1,0 +1,70 @@
+"""Device landscape: one query, every plugged processor type.
+
+Not a paper figure — the paper's vision statement ("plug in multiple
+devices and SDKs, with a low overhead") rendered as a benchmark: TPC-H Q6
+under the best execution model on every simulated driver, including the
+Section III-A2 FPGA, plus the three-device heterogeneous split.
+"""
+
+from __future__ import annotations
+
+from repro.bench import Report, fmt_seconds
+from repro.core.executor import AdamantExecutor
+from repro.devices import CudaDevice, FpgaDevice, OpenCLDevice, OpenMPDevice
+from repro.hardware import (
+    CPU_I7_8700,
+    CPU_XEON_5220R,
+    FPGA_ALVEO_U250,
+    GPU_RTX_2080_TI,
+)
+from repro.tpch.queries import q6
+from benchmarks.conftest import DATA_SCALE, PAPER_CHUNK
+from tests.conftest import make_executor
+
+CONFIGS = [
+    ("OpenMP / i7-8700", OpenMPDevice, CPU_I7_8700),
+    ("OpenCL / i7-8700", OpenCLDevice, CPU_I7_8700),
+    ("OpenMP / Xeon 5220R", OpenMPDevice, CPU_XEON_5220R),
+    ("OpenCL / RTX 2080 Ti", OpenCLDevice, GPU_RTX_2080_TI),
+    ("CUDA / RTX 2080 Ti", CudaDevice, GPU_RTX_2080_TI),
+    ("OpenCL / Alveo U250", FpgaDevice, FPGA_ALVEO_U250),
+]
+
+
+def run_landscape(catalog):
+    times = {}
+    for label, driver, spec in CONFIGS:
+        executor = make_executor(driver, spec)
+        result = executor.run(q6.build(), catalog,
+                              model="four_phase_pipelined",
+                              chunk_size=PAPER_CHUNK,
+                              data_scale=DATA_SCALE)
+        times[label] = result.stats.makespan
+    hetero = AdamantExecutor()
+    hetero.plug_device("gpu", CudaDevice, GPU_RTX_2080_TI)
+    hetero.plug_device("cpu", OpenMPDevice, CPU_XEON_5220R)
+    hetero.plug_device("fpga", FpgaDevice, FPGA_ALVEO_U250)
+    result = hetero.run(q6.build(), catalog, model="split_chunked",
+                        chunk_size=PAPER_CHUNK, data_scale=DATA_SCALE)
+    times["split: GPU+CPU+FPGA"] = result.stats.makespan
+    return times
+
+
+def test_device_landscape(benchmark, catalog):
+    times = benchmark.pedantic(run_landscape, args=(catalog,),
+                               rounds=1, iterations=1)
+    report = Report("device_landscape",
+                    "Device landscape: Q6, best model per processor "
+                    f"(logical SF ~{0.05 * DATA_SCALE:.0f})")
+    best = min(times.values())
+    report.table(
+        ["configuration", "time", "vs best"],
+        [[label, fmt_seconds(t), f"{t / best:.2f}x"]
+         for label, t in sorted(times.items(), key=lambda kv: kv[1])])
+    report.emit()
+
+    # Transfer-bound at this scale: the PCIe devices tie near the front,
+    # the laptop CPU trails, and splitting across all three wins outright.
+    assert times["split: GPU+CPU+FPGA"] == best
+    assert times["CUDA / RTX 2080 Ti"] < times["OpenCL / i7-8700"]
+    assert times["OpenCL / Alveo U250"] < times["OpenMP / i7-8700"]

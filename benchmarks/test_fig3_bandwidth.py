@@ -1,0 +1,62 @@
+"""Figure 3: data transfer bandwidths, CUDA vs OpenCL, across GPUs.
+
+Regenerates the H2D/D2H bandwidth series for pinned and pageable memory on
+both evaluation GPUs.  Expected shape (asserted): CUDA > OpenCL, pinned >
+pageable, A100 (PCIe 4.0) > RTX 2080 Ti (PCIe 3.0).
+"""
+
+from __future__ import annotations
+
+from repro.bench import Report, fmt_bytes, fmt_rate
+from repro.hardware import GPU_A100, GPU_RTX_2080_TI, CostModel, Sdk
+from repro.hardware.costmodel import TransferDirection
+
+SIZES = [2**20, 2**24, 2**28]
+GPUS = [GPU_RTX_2080_TI, GPU_A100]
+SDKS = [Sdk.CUDA, Sdk.OPENCL]
+
+
+def measured_bandwidth(model: CostModel, nbytes: int, direction: str,
+                       pinned: bool) -> float:
+    """Effective bytes/second including the DMA setup cost."""
+    return nbytes / model.transfer_seconds(nbytes, direction=direction,
+                                           pinned=pinned)
+
+
+def build_report() -> Report:
+    report = Report("fig3_bandwidth",
+                    "Figure 3: transfer bandwidth (CUDA vs OpenCL)")
+    rows = []
+    for gpu in GPUS:
+        for sdk in SDKS:
+            model = CostModel(gpu, sdk)
+            for direction in (TransferDirection.H2D, TransferDirection.D2H):
+                for pinned in (True, False):
+                    for nbytes in SIZES:
+                        bw = measured_bandwidth(model, nbytes, direction,
+                                                pinned)
+                        rows.append([
+                            gpu.name, sdk.value, direction.upper(),
+                            "pinned" if pinned else "pageable",
+                            fmt_bytes(nbytes), fmt_rate(bw, "B"),
+                        ])
+    report.table(["GPU", "SDK", "dir", "memory", "size", "bandwidth"], rows)
+    return report
+
+
+def test_fig3_bandwidth(benchmark):
+    report = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    report.emit()
+
+    # Shape assertions (the paper's reading of the figure).
+    big = 2**28
+    for gpu in GPUS:
+        cuda = CostModel(gpu, Sdk.CUDA)
+        opencl = CostModel(gpu, Sdk.OPENCL)
+        for pinned in (True, False):
+            assert measured_bandwidth(cuda, big, "h2d", pinned) > \
+                measured_bandwidth(opencl, big, "h2d", pinned)
+        assert measured_bandwidth(cuda, big, "h2d", True) > \
+            measured_bandwidth(cuda, big, "h2d", False)
+    assert measured_bandwidth(CostModel(GPU_A100, Sdk.CUDA), big, "h2d", True) > \
+        measured_bandwidth(CostModel(GPU_RTX_2080_TI, Sdk.CUDA), big, "h2d", True)

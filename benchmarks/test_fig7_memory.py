@@ -1,0 +1,79 @@
+"""Figure 7: memory capacity vs query input sizes, and the OAAT footprint.
+
+Left: per-query input footprints at the evaluation scale factors against
+the memory capacities of five GPUs — only some queries fit, the complete
+dataset does not.
+
+Right: the memory footprint over (simulated) time while Q6 executes
+operator-at-a-time — input columns plus growing intermediate results.
+"""
+
+from __future__ import annotations
+
+from repro.bench import Report, fmt_bytes, fmt_seconds
+from repro.devices import CudaDevice
+from repro.hardware import ALL_GPUS, GPU_RTX_2080_TI
+from repro.tpch import sizes
+from repro.tpch.queries import q6
+from tests.conftest import make_executor
+
+SCALE_FACTORS = [10, 50, 100, 140]
+
+
+def build_left_report() -> Report:
+    report = Report("fig7_left_capacity",
+                    "Figure 7 (left): query input sizes vs GPU capacity")
+    rows = []
+    for sf in SCALE_FACTORS:
+        for query in sorted(sizes.QUERY_INPUT_COLUMNS):
+            nbytes = sizes.query_input_bytes(query, sf)
+            fits = [gpu.name for gpu in ALL_GPUS
+                    if nbytes <= gpu.memory_bytes]
+            rows.append([f"SF{sf}", f"Q{query}", fmt_bytes(nbytes),
+                         f"fits {len(fits)}/{len(ALL_GPUS)} GPUs"])
+        rows.append([f"SF{sf}", "full dataset",
+                     fmt_bytes(sizes.dataset_bytes(sf)),
+                     f"fits {sum(sizes.dataset_bytes(sf) <= g.memory_bytes for g in ALL_GPUS)}/{len(ALL_GPUS)} GPUs"])
+    report.table(["scale", "query", "input size", "capacity check"], rows)
+    report.line()
+    report.line("GPU capacities: " + ", ".join(
+        f"{g.name}={fmt_bytes(g.memory_bytes)}" for g in ALL_GPUS))
+    return report
+
+
+def build_right_report(catalog) -> Report:
+    report = Report("fig7_right_footprint",
+                    "Figure 7 (right): Q6 memory footprint under OAAT")
+    executor = make_executor(CudaDevice, GPU_RTX_2080_TI)
+    executor.run(q6.build(), catalog, model="oaat", data_scale=512)
+    device = executor.devices["dev0"]
+    trace = device.memory.footprint_trace
+    rows = [[fmt_seconds(t), fmt_bytes(used)] for t, used in trace]
+    report.table(["sim time", "device memory in use"], rows)
+    report.line()
+    report.line(f"peak: {fmt_bytes(device.memory.peak_device_used)}")
+    return report
+
+
+def test_fig7_left(benchmark):
+    report = benchmark.pedantic(build_left_report, rounds=1, iterations=1)
+    report.emit()
+    # Shape: at SF 100 only a subset of query inputs fit the 2080 Ti,
+    # and the complete dataset fits no evaluated GPU at SF 140.
+    fitting = sizes.queries_fitting_in(GPU_RTX_2080_TI.memory_bytes, 100)
+    assert 0 < len(fitting) < len(sizes.QUERY_INPUT_COLUMNS)
+    assert all(sizes.dataset_bytes(140) > g.memory_bytes for g in ALL_GPUS)
+
+
+def test_fig7_right(benchmark, catalog):
+    report = benchmark.pedantic(build_right_report, args=(catalog,),
+                                rounds=1, iterations=1)
+    report.emit()
+    # Shape: footprint rises while intermediates accumulate, and the peak
+    # exceeds the bare input size.
+    executor = make_executor(CudaDevice, GPU_RTX_2080_TI)
+    executor.run(q6.build(), catalog, model="oaat", data_scale=512)
+    device = executor.devices["dev0"]
+    input_bytes = 512 * sum(
+        catalog.column(ref).nbytes for ref in q6.build().scan_refs())
+    assert device.memory.peak_device_used > input_bytes

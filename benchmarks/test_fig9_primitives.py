@@ -1,0 +1,169 @@
+"""Figure 9: primitive throughput profiles on both evaluation setups.
+
+Five panels, each regenerated as a throughput series over the four
+drivers (OpenMP, OpenCL-CPU, OpenCL-GPU, CUDA), on Setup 1 (i7-8700 /
+RTX 2080 Ti) and Setup 2 (Xeon 5220R / A100):
+
+(a) filter emitting a bitmap (selectivity sweep — flat);
+(b) filter + materialize (GPU drops to ~30% of bitmap-only);
+(c) hash aggregation (group-count sweep — OpenCL degrades, CUDA flat);
+(d) hash build (input-size sweep — GPUs degrade, CPUs flat);
+(e) hash probe (like build, CUDA slightly below OpenCL).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import Report, fmt_rate
+from repro.devices import CudaDevice, OpenCLDevice, OpenMPDevice, Task
+from repro.hardware import SETUPS, VirtualClock
+from repro.task import default_registry
+
+LOGICAL_N = 2**28
+PHYSICAL_N = 2**16
+SCALE = LOGICAL_N // PHYSICAL_N
+
+REGISTRY = default_registry()
+
+
+def drivers_for(setup: dict):
+    return [
+        ("OpenMP (CPU)", OpenMPDevice, setup["cpu"]),
+        ("OpenCL (CPU)", OpenCLDevice, setup["cpu"]),
+        ("OpenCL (GPU)", OpenCLDevice, setup["gpu"]),
+        ("CUDA (GPU)", CudaDevice, setup["gpu"]),
+    ]
+
+
+def run_primitive(driver, spec, tasks, *, scale=SCALE) -> float:
+    """Total logical elements/second across a task chain on one device."""
+    clock = VirtualClock()
+    device = driver("bench", spec, clock)
+    device.initialize()
+    device.data_scale = scale
+    data = np.random.default_rng(3).integers(
+        0, 2**20, PHYSICAL_N).astype(np.int64)
+    device.place_data("in", data)
+    for task in tasks(device):
+        device.execute(task)
+    compute = sum(e.duration for e in clock.events
+                  if e.category == "compute")
+    return PHYSICAL_N * scale / compute
+
+
+def filter_tasks(selectivity_value):
+    def tasks(device):
+        sdk = device.sdk.value
+        return [Task(REGISTRY.resolve("filter_bitmap", sdk), ["in"], "bm",
+                     params=dict(cmp="lt", value=selectivity_value),
+                     n_elements=PHYSICAL_N)]
+    return tasks
+
+
+def filter_materialize_tasks(device):
+    sdk = device.sdk.value
+    return [
+        Task(REGISTRY.resolve("filter_bitmap", sdk), ["in"], "bm",
+             params=dict(cmp="lt", value=2**19), n_elements=PHYSICAL_N),
+        Task(REGISTRY.resolve("materialize", sdk), ["in", "bm"], "out",
+             params={}, n_elements=PHYSICAL_N),
+    ]
+
+
+def hash_agg_tasks(groups):
+    def tasks(device):
+        sdk = device.sdk.value
+        return [Task(REGISTRY.resolve("hash_agg", sdk), ["in"], "out",
+                     params=dict(fn="count"), n_elements=PHYSICAL_N,
+                     cost_params=dict(groups=groups))]
+    return tasks
+
+
+def hash_build_tasks(device):
+    sdk = device.sdk.value
+    return [Task(REGISTRY.resolve("hash_build", sdk), ["in"], "out",
+                 params={}, n_elements=PHYSICAL_N)]
+
+
+def hash_probe_tasks(device):
+    sdk = device.sdk.value
+    return [
+        Task(REGISTRY.resolve("hash_build", sdk), ["in"], "table",
+             params={}, n_elements=PHYSICAL_N),
+        Task(REGISTRY.resolve("hash_probe", sdk), ["in", "table"], "out",
+             params=dict(mode="semi"), n_elements=PHYSICAL_N),
+    ]
+
+
+def build_report() -> Report:
+    report = Report("fig9_primitives",
+                    "Figure 9: primitive profiles (2^28 logical values)")
+    for setup_name, setup in SETUPS.items():
+        report.line(f"--- {setup_name}: {setup['cpu'].name} + "
+                    f"{setup['gpu'].name} ---")
+        rows = []
+        for label, driver, spec in drivers_for(setup):
+            bitmap = run_primitive(driver, spec, filter_tasks(2**19))
+            with_mat = run_primitive(driver, spec, filter_materialize_tasks)
+            agg_lo = run_primitive(driver, spec, hash_agg_tasks(2**4))
+            agg_hi = run_primitive(driver, spec, hash_agg_tasks(2**20))
+            build = run_primitive(driver, spec, hash_build_tasks)
+            probe = run_primitive(driver, spec, hash_probe_tasks)
+            rows.append([
+                label,
+                fmt_rate(bitmap), fmt_rate(with_mat),
+                fmt_rate(agg_lo), fmt_rate(agg_hi),
+                fmt_rate(build), fmt_rate(probe),
+            ])
+        report.table(
+            ["driver", "(a) filter", "(b) +materialize",
+             "(c) agg 2^4 grp", "(c) agg 2^20 grp", "(d) build",
+             "(e) build+probe"],
+            rows)
+        report.line()
+    return report
+
+
+def test_fig9_primitives(benchmark):
+    report = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    report.emit()
+
+    setup = SETUPS["setup1"]
+    # (a) filter flat in selectivity.
+    lo = run_primitive(CudaDevice, setup["gpu"], filter_tasks(2**10))
+    hi = run_primitive(CudaDevice, setup["gpu"], filter_tasks(2**19))
+    assert abs(lo - hi) / hi < 0.01
+
+    # (b) GPU materialization penalty ~30%; CPU penalty mild.
+    gpu_bitmap = run_primitive(CudaDevice, setup["gpu"], filter_tasks(2**19))
+    gpu_mat = run_primitive(CudaDevice, setup["gpu"],
+                            filter_materialize_tasks)
+    assert 0.2 < gpu_mat / gpu_bitmap < 0.45
+    cpu_bitmap = run_primitive(OpenMPDevice, setup["cpu"],
+                               filter_tasks(2**19))
+    cpu_mat = run_primitive(OpenMPDevice, setup["cpu"],
+                            filter_materialize_tasks)
+    assert cpu_mat / cpu_bitmap > 0.45
+
+    # (c) OpenCL degrades with groups; CUDA does not.
+    ocl_drop = (run_primitive(OpenCLDevice, setup["gpu"], hash_agg_tasks(4))
+                / run_primitive(OpenCLDevice, setup["gpu"],
+                                hash_agg_tasks(2**20)))
+    cuda_drop = (run_primitive(CudaDevice, setup["gpu"], hash_agg_tasks(4))
+                 / run_primitive(CudaDevice, setup["gpu"],
+                                 hash_agg_tasks(2**20)))
+    assert ocl_drop > 3
+    assert cuda_drop < 2
+
+    # (d) GPU build degrades with input size; CPU flat.
+    gpu_small = run_primitive(CudaDevice, setup["gpu"], hash_build_tasks,
+                              scale=2**24 // PHYSICAL_N)
+    gpu_large = run_primitive(CudaDevice, setup["gpu"], hash_build_tasks,
+                              scale=2**28 // PHYSICAL_N)
+    assert gpu_large < gpu_small
+    cpu_small = run_primitive(OpenMPDevice, setup["cpu"], hash_build_tasks,
+                              scale=2**24 // PHYSICAL_N)
+    cpu_large = run_primitive(OpenMPDevice, setup["cpu"], hash_build_tasks,
+                              scale=2**28 // PHYSICAL_N)
+    assert abs(cpu_large - cpu_small) / cpu_small < 0.05

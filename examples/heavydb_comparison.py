@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""ADAMANT's execution models vs the simulated HeavyDB baseline.
+
+Reproduces the comparison bars of Figure 11 on the A100 setup: HeavyDB
+with in-place tables (hot) is comparable to ADAMANT's naive chunked
+execution, its cold start is far slower, and Q3 cannot run at SF >= 100
+because the dense-range join table exceeds device memory.
+"""
+
+from repro import AdamantExecutor
+from repro.baselines import HeavyDBSimulator
+from repro.devices import CudaDevice
+from repro.hardware import GPU_A100
+from repro.tpch import generate
+from repro.tpch.queries import q3, q4, q6
+
+
+def main() -> None:
+    physical_sf, scale = 0.05, 2048  # logical SF ~102
+    logical_sf = physical_sf * scale
+    catalog = generate(scale_factor=physical_sf, seed=11)
+
+    executor = AdamantExecutor()
+    executor.plug_device("a100", CudaDevice, GPU_A100)
+    heavydb = HeavyDBSimulator(GPU_A100)
+
+    print(f"logical scale factor: ~{logical_sf:.0f}; device: {GPU_A100.name}\n")
+    header = (f"{'query':6s} {'ADAMANT chunked':>16s} "
+              f"{'ADAMANT 4-phase':>16s} {'HeavyDB hot':>12s} "
+              f"{'HeavyDB cold':>13s}")
+    print(header)
+
+    builds = {"Q3": lambda: q3.build(catalog), "Q4": q4.build,
+              "Q6": q6.build}
+    numbers = {"Q3": 3, "Q4": 4, "Q6": 6}
+    for qname, build in builds.items():
+        chunked = executor.run(build(), catalog, model="chunked",
+                               chunk_size=2**25, data_scale=scale)
+        best = executor.run(build(), catalog, model="four_phase_pipelined",
+                            chunk_size=2**25, data_scale=scale)
+        hot = heavydb.run(numbers[qname], logical_sf, cold=False)
+        cold = heavydb.run(numbers[qname], logical_sf, cold=True)
+
+        def fmt(seconds):
+            return "OOM" if seconds == float("inf") else f"{seconds:.3f} s"
+
+        print(f"{qname:6s} {fmt(chunked.stats.makespan):>16s} "
+              f"{fmt(best.stats.makespan):>16s} {fmt(hot.seconds):>12s} "
+              f"{fmt(cold.seconds):>13s}")
+
+    print("\nNote: HeavyDB Q3 is OOM — the dense key-range hash table over "
+          "the sparse\norderkey domain exceeds the device memory at these "
+          "scale factors, while\nADAMANT's chunked models stream the same "
+          "join comfortably.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: plug a GPU, run TPC-H Q6 under two execution models.
+
+Run with::
+
+    python examples/quickstart.py
+
+Generates a small TPC-H instance, plugs a simulated CUDA GPU into the
+ADAMANT executor, runs Q6 under the naive chunked and the 4-phase
+pipelined models, verifies both against the pure-numpy oracle, and prints
+the simulated times (the 4-phase model's pinned dual-buffer staging is
+roughly 2x faster at transfer-bound scale).
+"""
+
+from repro import AdamantExecutor
+from repro.devices import CudaDevice
+from repro.hardware import GPU_RTX_2080_TI
+from repro.tpch import generate, reference
+from repro.tpch.queries import q6
+
+
+def main() -> None:
+    print("Generating TPC-H data (SF 0.02, ~120k lineitems)...")
+    catalog = generate(scale_factor=0.02, seed=42)
+
+    executor = AdamantExecutor()
+    executor.plug_device("gpu0", CudaDevice, GPU_RTX_2080_TI)
+
+    graph = q6.build()
+    expected = reference.q6(catalog)
+
+    print(f"\nTPC-H Q6, oracle revenue: {expected}")
+    print(f"{'model':24s} {'revenue ok':10s} {'simulated time':>14s}")
+    for model in ("chunked", "four_phase_pipelined"):
+        # data_scale=1024 makes each generated row stand for 1024 rows, so
+        # the simulated run matches a ~SF-20 dataset on real hardware.
+        result = executor.run(graph, catalog, model=model,
+                              chunk_size=2**20 * 32, data_scale=1024)
+        revenue = q6.finalize(result, catalog)
+        print(f"{model:24s} {str(revenue == expected):10s} "
+              f"{result.stats.makespan:>12.3f} s")
+
+    print("\nDone. See examples/larger_than_memory.py and "
+          "examples/heavydb_comparison.py for the paper's headline "
+          "experiments.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""ADAMANT reproduction: a query executor with plug-in interfaces for easy
+co-processor integration (Gurumurthy et al., ICDE 2023).
+
+Public API tour:
+
+* :class:`repro.AdamantExecutor` — plug devices, run primitive graphs.
+* :mod:`repro.devices` — the ten-interface device layer and the simulated
+  OpenCL / CUDA / OpenMP drivers.
+* :mod:`repro.primitives` — Table I primitive definitions, value types and
+  reference kernels.
+* :mod:`repro.core` — primitive graphs, pipelines, execution models.
+* :mod:`repro.tpch` — workload generator, query plans and oracles.
+* :mod:`repro.hardware` — simulated specs, cost models, virtual time.
+"""
+
+from repro.core.executor import DEFAULT_CHUNK_SIZE, AdamantExecutor
+from repro.core.graph import PrimitiveGraph, ScanSource
+from repro.errors import AdamantError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdamantExecutor",
+    "DEFAULT_CHUNK_SIZE",
+    "PrimitiveGraph",
+    "ScanSource",
+    "AdamantError",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Baseline systems the paper compares against."""
+
+from repro.baselines.heavydb import HeavyDBRun, HeavyDBSimulator
+
+__all__ = ["HeavyDBSimulator", "HeavyDBRun"]

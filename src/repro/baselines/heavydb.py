@@ -1,0 +1,157 @@
+"""Simulated HeavyDB (formerly MapD) baseline — the paper's comparator.
+
+HeavyDB is the "in-place table" GPU DBMS of Section V-C: referenced columns
+live resident in device memory, queries run as compiled/fused kernels over
+the full columns (operator-at-a-time at heart), and integer joins use dense
+key-range hash layouts.  The paper measures it in two modes:
+
+* **hot** (``HeavyDB w/o transfer``): data already resident; and
+* **cold** (``HeavyDB w transfer``): the referenced columns must first be
+  transferred over pageable memory.
+
+This module reproduces those mechanisms analytically on top of the same
+cost-model substrate as ADAMANT (see ``calibration.py`` for the profile and
+its calibration rationale), including the published failure: Q3 cannot run
+at SF >= 100 because the dense-range join table over the sparse orderkey
+domain exceeds device memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceMemoryError, WorkloadError
+from repro.hardware import calibration as cal
+from repro.hardware.costmodel import CostModel, TransferDirection
+from repro.hardware.specs import GPU_A100, DeviceSpec, Sdk
+from repro.tpch import sizes
+from repro.tpch.schema import table_rows
+
+__all__ = ["HeavyDBSimulator", "HeavyDBRun"]
+
+#: Queries the paper compares against HeavyDB, with their join shapes.
+_SUPPORTED = {
+    3: {"join_domain_table": "orders", "semi_domain_table": None},
+    4: {"join_domain_table": None, "semi_domain_table": "orders"},
+    6: {"join_domain_table": None, "semi_domain_table": None},
+}
+
+
+@dataclass(frozen=True)
+class HeavyDBRun:
+    """Outcome of one simulated HeavyDB query execution.
+
+    Attributes:
+        query: TPC-H query number.
+        scale_factor: Data scale.
+        cold: Whether the run paid the initial transfer.
+        seconds: End-to-end simulated time (``inf`` when OOM).
+        transfer_seconds: Portion spent on the cold transfer.
+        resident_bytes: Device memory required (columns + hash tables).
+        oom: True when the run failed for memory.
+    """
+
+    query: int
+    scale_factor: float
+    cold: bool
+    seconds: float
+    transfer_seconds: float
+    resident_bytes: int
+    oom: bool
+
+
+class HeavyDBSimulator:
+    """Analytic simulator of HeavyDB's execution profile."""
+
+    def __init__(self, spec: DeviceSpec = GPU_A100) -> None:
+        self.spec = spec
+        # HeavyDB's transfer path is CUDA pageable (it does not stage
+        # through pinned chunk buffers — that is ADAMANT's 4-phase trick).
+        self.cost = CostModel(spec, Sdk.CUDA)
+
+    # -- memory model ------------------------------------------------------
+
+    def resident_bytes(self, query: int, scale_factor: float) -> int:
+        """Device memory the query needs: referenced columns plus dense
+        hash layouts."""
+        shape = self._shape(query)
+        total = sizes.query_input_bytes(query, scale_factor)
+        if shape["join_domain_table"]:
+            rows = table_rows(shape["join_domain_table"], scale_factor)
+            total += (rows * cal.HEAVYDB_KEY_DOMAIN_FACTOR
+                      * cal.HEAVYDB_JOIN_SLOT_BYTES)
+        if shape["semi_domain_table"]:
+            rows = table_rows(shape["semi_domain_table"], scale_factor)
+            total += (rows * cal.HEAVYDB_KEY_DOMAIN_FACTOR
+                      * cal.HEAVYDB_SEMI_SLOT_BYTES)
+        return total
+
+    def can_run(self, query: int, scale_factor: float) -> bool:
+        """Whether the working set fits in device memory."""
+        return self.resident_bytes(query, scale_factor) <= self.spec.memory_bytes
+
+    # -- timing model ----------------------------------------------------------
+
+    def run(self, query: int, scale_factor: float, *, cold: bool
+            ) -> HeavyDBRun:
+        """Simulate one execution; OOM yields ``seconds = inf``.
+
+        Raises :class:`WorkloadError` for queries the baseline does not
+        model (the paper compares Q3, Q4 and Q6 only).
+        """
+        self._shape(query)  # validate support
+        resident = self.resident_bytes(query, scale_factor)
+        if not self.can_run(query, scale_factor):
+            return HeavyDBRun(
+                query=query, scale_factor=scale_factor, cold=cold,
+                seconds=float("inf"), transfer_seconds=0.0,
+                resident_bytes=resident, oom=True,
+            )
+        input_bytes = sizes.query_input_bytes(query, scale_factor)
+        exec_rate = (self.cost.bandwidth(TransferDirection.H2D, pinned=False)
+                     * cal.HEAVYDB_EXEC_VS_PAGEABLE)
+        exec_seconds = input_bytes / exec_rate
+        exec_seconds += self._hash_seconds(query, scale_factor)
+        transfer_seconds = 0.0
+        if cold:
+            transfer_seconds = self.cost.transfer_seconds(
+                input_bytes, direction=TransferDirection.H2D, pinned=False,
+            )
+            exec_seconds += cal.HEAVYDB_COMPILE_SECONDS
+        return HeavyDBRun(
+            query=query, scale_factor=scale_factor, cold=cold,
+            seconds=exec_seconds + transfer_seconds,
+            transfer_seconds=transfer_seconds,
+            resident_bytes=resident, oom=False,
+        )
+
+    def oom_raise(self, query: int, scale_factor: float) -> None:
+        """Raise the OOM as an exception (used by tests)."""
+        resident = self.resident_bytes(query, scale_factor)
+        if resident > self.spec.memory_bytes:
+            raise DeviceMemoryError(
+                f"HeavyDB Q{query} @ SF{scale_factor:g} needs "
+                f"{resident} B but {self.spec.name} has "
+                f"{self.spec.memory_bytes} B",
+                requested=resident,
+                available=self.spec.memory_bytes,
+            )
+
+    # -- internals ------------------------------------------------------------------
+
+    def _shape(self, query: int) -> dict:
+        try:
+            return _SUPPORTED[query]
+        except KeyError:
+            raise WorkloadError(
+                f"HeavyDB baseline models Q3/Q4/Q6 only, not Q{query}"
+            ) from None
+
+    def _hash_seconds(self, query: int, scale_factor: float) -> float:
+        shape = self._shape(query)
+        seconds = 0.0
+        for key in ("join_domain_table", "semi_domain_table"):
+            if shape[key]:
+                rows = table_rows(shape[key], scale_factor)
+                seconds += rows * cal.HEAVYDB_HASH_SECONDS_PER_KEY
+        return seconds

@@ -1,0 +1,14 @@
+"""Benchmark harness utilities (reporting, formatting)."""
+
+from repro.bench.micro import DRIVER_MATRIX, MicroBench, MicroResult
+from repro.bench.report import Report, fmt_bytes, fmt_rate, fmt_seconds
+
+__all__ = [
+    "Report",
+    "fmt_bytes",
+    "fmt_rate",
+    "fmt_seconds",
+    "MicroBench",
+    "MicroResult",
+    "DRIVER_MATRIX",
+]

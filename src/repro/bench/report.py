@@ -1,0 +1,80 @@
+"""Reporting helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures as a text
+table: printed to stdout (run pytest with ``-s`` to see them) and appended
+to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can cite stable
+artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+__all__ = ["Report", "fmt_bytes", "fmt_seconds", "fmt_rate"]
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count (binary units)."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024 or unit == "TiB":
+            return f"{value:.2f} {unit}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def fmt_seconds(s: float) -> str:
+    if s == float("inf"):
+        return "OOM"
+    if s < 1e-3:
+        return f"{s * 1e6:.1f} us"
+    if s < 1:
+        return f"{s * 1e3:.2f} ms"
+    return f"{s:.3f} s"
+
+
+def fmt_rate(per_second: float, unit: str = "elem") -> str:
+    value = float(per_second)
+    for prefix in ("", "K", "M", "G", "T"):
+        if value < 1000 or prefix == "T":
+            return f"{value:.2f} {prefix}{unit}/s"
+        value /= 1000
+    raise AssertionError("unreachable")
+
+
+class Report:
+    """A named text table collected by one benchmark."""
+
+    def __init__(self, name: str, title: str) -> None:
+        self.name = name
+        self.title = title
+        self._lines: list[str] = []
+
+    def line(self, text: str = "") -> None:
+        self._lines.append(text)
+
+    def table(self, headers: list[str], rows: list[list[str]]) -> None:
+        """Append an aligned text table."""
+        widths = [
+            max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+            if rows else len(str(headers[i]))
+            for i in range(len(headers))
+        ]
+
+        def render(cells):
+            return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+        self.line(render(headers))
+        self.line(render(["-" * w for w in widths]))
+        for row in rows:
+            self.line(render(row))
+
+    def emit(self) -> str:
+        """Print the report and persist it under benchmarks/results/."""
+        text = "\n".join([f"== {self.title} ==", *self._lines, ""])
+        print("\n" + text)
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / f"{self.name}.txt").write_text(text)
+        return text

@@ -1,0 +1,285 @@
+"""Command-line interface: run queries and compare execution models.
+
+Usage::
+
+    python -m repro devices
+    python -m repro run --query q6 --model four_phase_pipelined --sf 0.02
+    python -m repro compare --query q3 --sf 0.02 --data-scale 1024
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.executor import DEFAULT_CHUNK_SIZE, AdamantExecutor
+from repro.core.models import MODELS
+from repro.devices import CudaDevice, OpenCLDevice, OpenMPDevice
+from repro.hardware import (
+    ALL_GPUS,
+    CPU_I7_8700,
+    CPU_XEON_5220R,
+    GPU_A100,
+    GPU_RTX_2080_TI,
+)
+from repro.tpch import generate, reference
+from repro.tpch.queries import (q1, q3, q4, q5, q6, q10, q12, q14,
+                                q18, q19)
+
+__all__ = ["main"]
+
+QUERIES = {"q1": q1, "q3": q3, "q4": q4, "q5": q5, "q6": q6,
+           "q10": q10, "q12": q12, "q14": q14, "q18": q18, "q19": q19}
+
+DRIVERS = {
+    "cuda": (CudaDevice, "GPU"),
+    "opencl-gpu": (OpenCLDevice, "GPU"),
+    "opencl-cpu": (OpenCLDevice, "CPU"),
+    "openmp": (OpenMPDevice, "CPU"),
+}
+
+SPECS = {
+    "2080ti": GPU_RTX_2080_TI,
+    "a100": GPU_A100,
+    "i7": CPU_I7_8700,
+    "xeon": CPU_XEON_5220R,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ADAMANT reproduction: pluggable co-processor query "
+                    "executor (ICDE 2023)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list simulated hardware specs")
+
+    figures = sub.add_parser(
+        "figures",
+        help="regenerate every paper figure (runs the benchmark suite)")
+    figures.add_argument("--filter", default=None,
+                         help="only benchmarks matching this substring "
+                              "(pytest -k expression)")
+
+    micro = sub.add_parser(
+        "micro", help="profile one primitive across all drivers "
+                      "(Section V-A methodology)")
+    micro.add_argument("--primitive", default="map",
+                       help="primitive to profile (default: map)")
+    micro.add_argument("--setup", choices=["setup1", "setup2"],
+                       default="setup1")
+    micro.add_argument("--logical-n", type=int, default=2**28)
+    micro.add_argument("--groups", type=int, default=None,
+                       help="group count for hash_agg contention")
+
+    validate = sub.add_parser(
+        "validate", help="run the full query x model x driver "
+                         "correctness matrix against the oracles")
+    validate.add_argument("--sf", type=float, default=0.005)
+    validate.add_argument("--seed", type=int, default=42)
+    validate.add_argument("--chunk-size", type=int, default=2048)
+
+    for name, help_text in (("run", "run one query under one model"),
+                            ("compare", "run one query under all models")):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--query", choices=sorted(QUERIES), default="q6")
+        cmd.add_argument("--sf", type=float, default=0.01,
+                         help="physical TPC-H scale factor (default 0.01)")
+        cmd.add_argument("--seed", type=int, default=42)
+        cmd.add_argument("--driver", choices=sorted(DRIVERS), default="cuda")
+        cmd.add_argument("--spec", choices=sorted(SPECS), default=None,
+                         help="hardware spec (defaults to the driver's kind)")
+        cmd.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
+                         help="logical rows per chunk (default 2^25)")
+        cmd.add_argument("--data-scale", type=int, default=1,
+                         help="logical rows represented per physical row")
+        cmd.add_argument("--memory-limit", type=int, default=None,
+                         help="cap the device memory in bytes")
+        if name == "run":
+            cmd.add_argument("--model", choices=sorted(MODELS),
+                             default="chunked")
+    return parser
+
+
+def _make_executor(args) -> AdamantExecutor:
+    driver, kind = DRIVERS[args.driver]
+    spec = SPECS[args.spec] if args.spec else (
+        GPU_RTX_2080_TI if kind == "GPU" else CPU_I7_8700)
+    executor = AdamantExecutor()
+    executor.plug_device("dev0", driver, spec,
+                         memory_limit=args.memory_limit)
+    return executor
+
+
+def _build_graph(args, catalog):
+    module = QUERIES[args.query]
+    if args.query in ("q3", "q5", "q10", "q12", "q14", "q19"):
+        return module, module.build(catalog)
+    return module, module.build()
+
+
+def _oracle(args, catalog):
+    return {
+        "q1": reference.q1, "q3": reference.q3, "q4": reference.q4,
+        "q5": reference.q5, "q6": reference.q6, "q12": reference.q12,
+        "q10": reference.q10, "q14": reference.q14,
+        "q18": reference.q18, "q19": reference.q19,
+    }[args.query](catalog)
+
+
+def cmd_devices(_args) -> int:
+    print(f"{'device':24s} {'kind':5s} {'memory':>10s} "
+          f"{'mem bw':>10s} {'interconnect':>13s} {'units':>6s}")
+    for spec in [*ALL_GPUS, CPU_I7_8700, CPU_XEON_5220R]:
+        print(f"{spec.name:24s} {spec.kind.value:5s} "
+              f"{spec.memory_bytes / 2**30:>8.1f}Gi "
+              f"{spec.mem_bandwidth / 1e9:>7.0f}GB/s "
+              f"{spec.interconnect_bandwidth / 1e9:>10.0f}GB/s "
+              f"{spec.compute_units:>6d}")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    """Run the benchmark harness; tables land in benchmarks/results/."""
+    import pathlib
+
+    import pytest
+
+    bench_dir = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+    if not bench_dir.is_dir():
+        print(f"benchmark directory not found at {bench_dir}",
+              file=sys.stderr)
+        return 2
+    argv = [str(bench_dir), "--benchmark-only", "-s", "-q"]
+    if args.filter:
+        argv += ["-k", args.filter]
+    return pytest.main(argv)
+
+
+def cmd_micro(args) -> int:
+    """Primitive throughput across drivers (Figures 5 and 9)."""
+    from repro.bench import DRIVER_MATRIX, MicroBench
+
+    bench = MicroBench(logical_n=args.logical_n, setup=args.setup)
+    cost_params = {}
+    if args.groups is not None:
+        cost_params["groups"] = args.groups
+    print(f"primitive={args.primitive} setup={args.setup} "
+          f"n={args.logical_n}")
+    print(f"{'driver':14s} {'throughput':>18s}")
+    for key, _, _ in DRIVER_MATRIX:
+        result = bench.profile(key, args.primitive,
+                               cost_params=cost_params)
+        print(f"{key:14s} {result.throughput / 1e9:>12.2f} Gelem/s")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    """Every query x model x driver must match its oracle exactly."""
+    catalog = generate(args.sf, seed=args.seed)
+    failures = 0
+    models = sorted(MODELS)
+    print(f"validating {len(QUERIES)} queries x {len(models)} models x "
+          f"{len(DRIVERS)} drivers at SF {args.sf}")
+    for qname, module in sorted(QUERIES.items()):
+        graph = (module.build(catalog)
+                 if qname in ("q3", "q5", "q10", "q12", "q14", "q19")
+                 else module.build())
+        expected = _oracle_for(qname, catalog)
+        for driver_name in sorted(DRIVERS):
+            driver, kind = DRIVERS[driver_name]
+            executor = AdamantExecutor()
+            executor.plug_device(
+                "dev0", driver,
+                GPU_RTX_2080_TI if kind == "GPU" else CPU_I7_8700)
+            for model in models:
+                try:
+                    result = executor.run(graph, catalog, model=model,
+                                          chunk_size=args.chunk_size)
+                    answer = module.finalize(result, catalog)
+                    ok = (abs(answer - expected) < 1e-9
+                          if isinstance(answer, float)
+                          else answer == expected)
+                except Exception as error:
+                    ok = False
+                    answer = f"{type(error).__name__}: {error}"
+                if not ok:
+                    failures += 1
+                    print(f"FAIL {qname} {driver_name} {model}: {answer}")
+    total = len(QUERIES) * len(models) * len(DRIVERS)
+    print(f"{total - failures}/{total} combinations match the oracles")
+    return 1 if failures else 0
+
+
+def _oracle_for(qname: str, catalog):
+    return {
+        "q1": reference.q1, "q3": reference.q3, "q4": reference.q4,
+        "q5": reference.q5, "q6": reference.q6, "q12": reference.q12,
+        "q10": reference.q10, "q14": reference.q14,
+        "q18": reference.q18, "q19": reference.q19,
+    }[qname](catalog)
+
+
+def cmd_run(args) -> int:
+    catalog = generate(args.sf, seed=args.seed)
+    executor = _make_executor(args)
+    module, graph = _build_graph(args, catalog)
+    result = executor.run(graph, catalog, model=args.model,
+                          chunk_size=args.chunk_size,
+                          data_scale=args.data_scale)
+    answer = module.finalize(result, catalog)
+    expected = _oracle(args, catalog)
+    matches = (answer == expected if not isinstance(answer, float)
+               else abs(answer - expected) < 1e-9)
+    print(f"query={args.query} model={args.model} driver={args.driver}")
+    print(f"result: {answer}")
+    print(f"oracle match: {matches}")
+    print(f"simulated time: {result.stats.makespan:.6f} s "
+          f"({result.stats.chunks_processed} chunks, "
+          f"{result.stats.kernel_invocations} kernels)")
+    return 0 if matches else 1
+
+
+def cmd_compare(args) -> int:
+    catalog = generate(args.sf, seed=args.seed)
+    executor = _make_executor(args)
+    module, graph = _build_graph(args, catalog)
+    expected = _oracle(args, catalog)
+    print(f"query={args.query} driver={args.driver} "
+          f"data_scale={args.data_scale}")
+    print(f"{'model':24s} {'ok':4s} {'time':>12s} {'vs chunked':>11s}")
+    baseline = None
+    status = 0
+    for model in ("oaat", "chunked", "pipelined", "four_phase_chunked",
+                  "four_phase_pipelined"):
+        try:
+            result = executor.run(graph, catalog, model=model,
+                                  chunk_size=args.chunk_size,
+                                  data_scale=args.data_scale)
+        except Exception as error:  # OOM for oaat is expected behaviour
+            print(f"{model:24s} --   {type(error).__name__}: {error}")
+            continue
+        answer = module.finalize(result, catalog)
+        ok = (answer == expected if not isinstance(answer, float)
+              else abs(answer - expected) < 1e-9)
+        status |= 0 if ok else 1
+        t = result.stats.makespan
+        if model == "chunked":
+            baseline = t
+        ratio = f"{baseline / t:.2f}x" if baseline else "-"
+        print(f"{model:24s} {str(ok):4s} {t:>10.6f} s {ratio:>11s}")
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handler = {"devices": cmd_devices, "run": cmd_run,
+               "compare": cmd_compare, "figures": cmd_figures,
+               "micro": cmd_micro, "validate": cmd_validate}[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Runtime layer: primitive graph, transfer hub, execution models, executor."""
+
+from repro.core.combine import ChunkPartial, combine_chunk_results
+from repro.core.context import ExecutionContext, ExecutionStats, QueryResult
+from repro.core.executor import DEFAULT_CHUNK_SIZE, AdamantExecutor
+from repro.core.graph import DataEdge, PrimitiveGraph, PrimitiveNode, ScanSource
+from repro.core.hub import DataTransferHub
+from repro.core.models import MODELS, ExecutionModel
+from repro.core.pipelines import Pipeline, split_pipelines
+
+__all__ = [
+    "AdamantExecutor",
+    "DEFAULT_CHUNK_SIZE",
+    "PrimitiveGraph",
+    "PrimitiveNode",
+    "DataEdge",
+    "ScanSource",
+    "Pipeline",
+    "split_pipelines",
+    "DataTransferHub",
+    "ExecutionContext",
+    "ExecutionStats",
+    "QueryResult",
+    "ExecutionModel",
+    "MODELS",
+    "ChunkPartial",
+    "combine_chunk_results",
+]

@@ -1,0 +1,150 @@
+"""Execution context and result types shared by all execution models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.graph import PrimitiveGraph, PrimitiveNode
+from repro.devices.base import Device, SimulatedDevice
+from repro.errors import ExecutionError
+from repro.hardware.clock import VirtualClock
+from repro.primitives.values import Bitmap, JoinPairs, PositionList, PrefixSum
+from repro.storage import Catalog
+from repro.task.registry import TaskRegistry
+
+__all__ = ["ExecutionContext", "ExecutionStats", "QueryResult", "cardinality"]
+
+
+def cardinality(value: object) -> int:
+    """Input cardinality of an edge value (what a kernel iterates over)."""
+    if value is None:
+        return 0
+    if isinstance(value, np.ndarray):
+        return int(value.shape[0])
+    if isinstance(value, Bitmap):
+        return value.length
+    if isinstance(value, (PositionList, JoinPairs)):
+        return len(value)
+    if isinstance(value, PrefixSum):
+        return int(value.sums.shape[0])
+    num_groups = getattr(value, "num_groups", None)
+    if num_groups is not None:
+        return int(num_groups)
+    num_keys = getattr(value, "num_keys", None)
+    if num_keys is not None:
+        return int(num_keys)
+    return 0
+
+
+@dataclass
+class ExecutionStats:
+    """Aggregated timing/memory statistics of one query run."""
+
+    makespan: float = 0.0
+    time_by_category: dict[str, float] = field(default_factory=dict)
+    peak_device_bytes: dict[str, int] = field(default_factory=dict)
+    transfer_bytes: int = 0
+    chunks_processed: int = 0
+    kernel_invocations: int = 0
+    #: (pipeline index, start, end) on the simulated timeline — which
+    #: execution group dominated the query.
+    pipeline_spans: list[tuple[int, float, float]] = field(
+        default_factory=list)
+
+    @property
+    def compute_time(self) -> float:
+        """Sum of pure kernel execution time (Figure 10's per-primitive
+        processing time)."""
+        return self.time_by_category.get("compute", 0.0)
+
+    @property
+    def abstraction_overhead(self) -> float:
+        """Total minus pure kernel time — the paper's Figure 10 metric
+        (launch, data mapping, allocation, routing, transfer handling)."""
+        return max(0.0, self.makespan - self.compute_time)
+
+
+@dataclass
+class QueryResult:
+    """Outputs and statistics of one executed primitive graph."""
+
+    outputs: dict[str, object]
+    stats: ExecutionStats
+
+    def output(self, node_id: str) -> object:
+        try:
+            return self.outputs[node_id]
+        except KeyError:
+            raise ExecutionError(
+                f"no output {node_id!r}; available: {sorted(self.outputs)}"
+            ) from None
+
+
+class ExecutionContext:
+    """Everything an execution model needs to run one query."""
+
+    def __init__(self, *, graph: PrimitiveGraph, catalog: Catalog,
+                 devices: dict[str, Device], registry: TaskRegistry,
+                 clock: VirtualClock, chunk_size: int,
+                 default_device: str, data_scale: int = 1) -> None:
+        if not devices:
+            raise ExecutionError("no devices plugged into the executor")
+        if default_device not in devices:
+            raise ExecutionError(
+                f"default device {default_device!r} not registered; "
+                f"plugged: {sorted(devices)}"
+            )
+        if data_scale < 1:
+            raise ExecutionError(f"data_scale must be >= 1, got {data_scale}")
+        if chunk_size <= 0 or chunk_size % (32 * data_scale) != 0:
+            raise ExecutionError(
+                f"chunk_size must be a positive multiple of 32*data_scale "
+                f"rows (bitmap word alignment after descaling), got "
+                f"{chunk_size} with data_scale={data_scale}"
+            )
+        self.graph = graph
+        self.catalog = catalog
+        self.devices = devices
+        self.registry = registry
+        self.clock = clock
+        self.chunk_size = chunk_size
+        self.default_device = default_device
+        self.data_scale = data_scale
+
+    @property
+    def physical_chunk_rows(self) -> int:
+        """Rows of the (down-scaled) physical arrays per logical chunk."""
+        return self.chunk_size // self.data_scale
+
+    def device_for(self, node: PrimitiveNode) -> SimulatedDevice:
+        """Resolve a node's device annotation (Figure 2's markings)."""
+        name = node.device or self.default_device
+        try:
+            return self.devices[name]  # type: ignore[return-value]
+        except KeyError:
+            raise ExecutionError(
+                f"node {node.node_id!r} annotated with unplugged device "
+                f"{name!r}; plugged: {sorted(self.devices)}"
+            ) from None
+
+    def collect_stats(self, *, chunks: int = 0,
+                      pipeline_spans: list[tuple[int, float, float]]
+                      | None = None) -> ExecutionStats:
+        events = self.clock.events
+        return ExecutionStats(
+            makespan=self.clock.makespan(),
+            time_by_category=self.clock.events_by_category(),
+            peak_device_bytes={
+                name: device.memory.peak_device_used  # type: ignore[attr-defined]
+                for name, device in self.devices.items()
+                if hasattr(device, "memory")
+            },
+            transfer_bytes=sum(e.nbytes for e in events
+                               if e.category == "transfer"),
+            chunks_processed=chunks,
+            kernel_invocations=sum(1 for e in events
+                                   if e.category == "compute"),
+            pipeline_spans=list(pipeline_spans or ()),
+        )

@@ -1,0 +1,130 @@
+"""The ADAMANT executor facade — the library's main entry point.
+
+Usage::
+
+    from repro import AdamantExecutor
+    from repro.devices import CudaDevice
+    from repro.hardware import GPU_RTX_2080_TI
+
+    executor = AdamantExecutor()
+    executor.plug_device("gpu0", CudaDevice, GPU_RTX_2080_TI)
+    result = executor.run(graph, catalog, model="four_phase_pipelined",
+                          chunk_size=2**20)
+
+``plug_device`` is the paper's headline operation: adding a co-processor /
+SDK pair touches nothing else — the runtime, task layer and plans are
+unchanged.  Any class implementing the ten
+:class:`~repro.devices.base.Device` interfaces can be plugged, including
+user-defined ones (see ``examples/custom_device_plugin.py``).
+"""
+
+from __future__ import annotations
+
+from repro.core.context import ExecutionContext, QueryResult
+from repro.core.graph import PrimitiveGraph
+from repro.core.models import MODELS
+from repro.devices.base import SimulatedDevice
+from repro.devices.transforms import register_default_transforms
+from repro.errors import ExecutionError
+from repro.hardware.clock import VirtualClock
+from repro.hardware.specs import DeviceSpec
+from repro.storage import Catalog
+from repro.task.registry import TaskRegistry, default_registry
+
+__all__ = ["AdamantExecutor", "DEFAULT_CHUNK_SIZE"]
+
+#: The paper's evaluation chunk size: 2^25 values (Section V-C).
+DEFAULT_CHUNK_SIZE = 2**25
+
+
+class AdamantExecutor:
+    """A query executor with plug-in interfaces for co-processors."""
+
+    def __init__(self, *, registry: TaskRegistry | None = None) -> None:
+        self.clock = VirtualClock()
+        self.registry = registry if registry is not None else default_registry()
+        self.devices: dict[str, SimulatedDevice] = {}
+        self._default_device: str | None = None
+
+    # -- plugging ---------------------------------------------------------------
+
+    def plug_device(self, name: str, driver: type[SimulatedDevice],
+                    spec: DeviceSpec, *, memory_limit: int | None = None,
+                    default: bool = False) -> SimulatedDevice:
+        """Plug a co-processor driver into the executor.
+
+        Args:
+            name: Unique device id used in plan annotations.
+            driver: A :class:`SimulatedDevice` subclass (OpenCL, CUDA,
+                OpenMP, or a user plug-in).
+            spec: Hardware the driver runs on.
+            memory_limit: Optional capacity cap (larger-than-memory
+                studies at small absolute data sizes).
+            default: Make this the device for nodes without annotation.
+        """
+        if name in self.devices:
+            raise ExecutionError(f"device name {name!r} already plugged")
+        device = driver(name, spec, self.clock, memory_limit=memory_limit)
+        register_default_transforms(device)
+        self.devices[name] = device
+        if default or self._default_device is None:
+            self._default_device = name
+        return device
+
+    def unplug_device(self, name: str) -> None:
+        """Remove a device (plans annotated with it will fail to run)."""
+        if name not in self.devices:
+            raise ExecutionError(f"no plugged device {name!r}")
+        del self.devices[name]
+        if self._default_device == name:
+            self._default_device = next(iter(self.devices), None)
+
+    @property
+    def default_device(self) -> str:
+        if self._default_device is None:
+            raise ExecutionError("no devices plugged")
+        return self._default_device
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, graph: PrimitiveGraph, catalog: Catalog, *,
+            model: str = "chunked", chunk_size: int = DEFAULT_CHUNK_SIZE,
+            default_device: str | None = None,
+            data_scale: int = 1) -> QueryResult:
+        """Execute *graph* against *catalog* under one execution model.
+
+        Each run starts on a fresh timeline: the clock is reset and every
+        device re-initialized, so makespans of successive runs are
+        directly comparable.
+
+        Args:
+            model: One of :data:`repro.core.models.MODELS`.
+            chunk_size: *Logical* rows per chunk (the paper uses 2^25).
+            data_scale: Each physical catalog row stands for this many
+                logical rows; transfers, kernel charges and memory
+                accounting scale accordingly, so paper-scale runs (SF 100)
+                execute on small physical arrays with the exact
+                large-scale cost structure (see DESIGN.md section 2).
+        """
+        try:
+            model_cls = MODELS[model]
+        except KeyError:
+            raise ExecutionError(
+                f"unknown execution model {model!r}; "
+                f"available: {sorted(MODELS)}"
+            ) from None
+        self.clock.reset()
+        for device in self.devices.values():
+            device.reset()
+            device.data_scale = data_scale
+        ctx = ExecutionContext(
+            graph=graph,
+            catalog=catalog,
+            devices=dict(self.devices),
+            registry=self.registry,
+            clock=self.clock,
+            chunk_size=chunk_size,
+            default_device=default_device or self.default_device,
+            data_scale=data_scale,
+        )
+        return model_cls(ctx).run()

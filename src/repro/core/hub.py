@@ -1,0 +1,133 @@
+"""Data transfer hub (Section III-C): load_data, router, output buffers.
+
+The hub performs all data movement for the runtime:
+
+* :meth:`DataTransferHub.load_data` pushes (a chunk of) a base-table
+  column to the device that needs it, charging the transfer;
+* :meth:`DataTransferHub.router` resolves an intermediate edge whose data
+  lives on another device or in another SDK's format, using
+  ``retrieve_data``/``place_data`` for cross-device moves and
+  ``transform_memory`` for same-device format changes (Figure 4);
+* :meth:`DataTransferHub.prepare_output_buffer` pre-allocates a result
+  buffer from the primitive's output-size estimate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.context import ExecutionContext
+from repro.core.graph import DataEdge, PrimitiveNode, ScanSource
+from repro.devices.base import SimulatedDevice
+from repro.errors import ExecutionError
+from repro.hardware.clock import Event
+from repro.storage.column import Column
+
+__all__ = ["DataTransferHub"]
+
+
+class DataTransferHub:
+    """Moves data between host, devices, and SDK formats."""
+
+    def __init__(self, ctx: ExecutionContext) -> None:
+        self.ctx = ctx
+
+    # -- base-table input ----------------------------------------------------
+
+    def host_column(self, source: ScanSource) -> Column:
+        """Resolve a scan source against the catalog."""
+        return self.ctx.catalog.column(source.ref)
+
+    def load_data(self, edge: DataEdge, device: SimulatedDevice, alias: str,
+                  *, start: int = 0, stop: int | None = None,
+                  deps: list[Event] | None = None,
+                  transfer_factor: float = 1.0,
+                  publish_only: bool = False) -> Event:
+        """Load rows ``[start, stop)`` of *edge*'s scan column into *alias*.
+
+        Args:
+            transfer_factor: Multiplier on the transfer duration (the
+                OpenCL shallow-pinned penalty of the 4-phase models).
+            publish_only: Unified-memory mode: make the chunk visible in
+                the (host-resident) buffer without a DMA — kernels will
+                pay the interconnect read themselves.
+        """
+        if not edge.is_scan:
+            raise ExecutionError(
+                f"load_data called on non-scan edge {edge.data_id}"
+            )
+        column = self.host_column(edge.source)
+        stop = column.values.shape[0] if stop is None else stop
+        payload: np.ndarray = column.slice(start, stop)
+        if publish_only:
+            buffer = device.memory.get(alias)
+            event = device.clock.schedule(
+                device.transfer_stream, 1e-6,
+                label=f"{device.name}:uma-publish:{alias}",
+                deps=deps, category="transfer",
+            )
+            buffer.value = payload
+            buffer.ready = event
+            edge.device_id = device.name
+            edge.fetched_until = stop
+            return event
+        event = device.place_data(alias, payload, offset=start, deps=deps)
+        if transfer_factor != 1.0:
+            event = device.clock.schedule(
+                device.transfer_stream,
+                event.duration * (transfer_factor - 1.0),
+                label=f"{device.name}:pinned-map:{alias}",
+                deps=[event],
+                category="transfer",
+            )
+            device.memory.get(alias).ready = event
+        edge.device_id = device.name
+        edge.fetched_until = stop
+        return event
+
+    # -- intermediate routing -------------------------------------------------
+
+    def router(self, edge: DataEdge, source_alias: str,
+               target_device: SimulatedDevice) -> tuple[str, list[Event]]:
+        """Make *edge*'s data usable by *target_device*.
+
+        Iterates the cases of the paper's ``router()``: same device and
+        format (no-op), same device different SDK format
+        (``transform_memory``), different device (D2H + H2D through the
+        host).  Returns the alias to read on the target device plus any
+        events the consumer must wait for.
+        """
+        source_name = edge.device_id
+        if source_name is None or source_name == target_device.name:
+            events: list[Event] = []
+            buffer = target_device.memory.get(source_alias)
+            if buffer.data_format != target_device.data_format:
+                events.append(target_device.transform_memory(
+                    source_alias, buffer.data_format,
+                    target_device.data_format,
+                ))
+            edge.device_id = target_device.name
+            return source_alias, events
+
+        source_device = self.ctx.devices[source_name]
+        value, d2h = source_device.retrieve_data(source_alias)
+        routed_alias = f"{source_alias}@{target_device.name}"
+        if routed_alias in target_device.memory:
+            target_device.delete_memory(routed_alias)
+        h2d = target_device.place_data(routed_alias, value, deps=[d2h])
+        edge.device_id = target_device.name
+        return routed_alias, [h2d]
+
+    # -- output buffers -------------------------------------------------------------
+
+    def prepare_output_buffer(self, node: PrimitiveNode,
+                              device: SimulatedDevice, alias: str,
+                              n_input: int) -> Event | None:
+        """Estimate and allocate *node*'s result space (paper's
+        ``prepare_output_buffer``); no-op if the alias already exists."""
+        if alias in device.memory:
+            return None
+        estimate = node.defn.estimate_output_bytes(
+            n_input, {**node.params, **node.hints},
+        )
+        return device.prepare_memory(alias, max(8, int(estimate)))

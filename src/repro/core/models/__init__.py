@@ -1,0 +1,39 @@
+"""Execution models (Section IV): OAAT, chunked, pipelined, 4-phase."""
+
+from repro.core.models.base import ExecutionModel, shallow_hash_pipeline
+from repro.core.models.chunked import ChunkedModel
+from repro.core.models.four_phase import (
+    FourPhaseChunkedModel,
+    FourPhasePipelinedModel,
+)
+from repro.core.models.oaat import OperatorAtATimeModel
+from repro.core.models.pipelined import PipelinedModel
+from repro.core.models.split import SplitChunkedModel
+from repro.core.models.zero_copy import ZeroCopyModel
+
+#: Registry of execution-model names -> classes (the executor's menu).
+MODELS: dict[str, type[ExecutionModel]] = {
+    cls.name: cls
+    for cls in (
+        OperatorAtATimeModel,
+        ChunkedModel,
+        PipelinedModel,
+        FourPhaseChunkedModel,
+        FourPhasePipelinedModel,
+        ZeroCopyModel,
+        SplitChunkedModel,
+    )
+}
+
+__all__ = [
+    "ExecutionModel",
+    "OperatorAtATimeModel",
+    "ChunkedModel",
+    "PipelinedModel",
+    "FourPhaseChunkedModel",
+    "FourPhasePipelinedModel",
+    "ZeroCopyModel",
+    "SplitChunkedModel",
+    "MODELS",
+    "shallow_hash_pipeline",
+]

@@ -1,0 +1,403 @@
+"""Shared machinery for execution models (Section IV).
+
+All four paper models (operator-at-a-time, chunked, pipelined, 4-phase)
+share the per-node execution path: resolve the kernel variant for the
+node's device, route inputs, prepare the output buffer, execute, persist.
+They differ only in *how scan data reaches the device* — fully resident,
+chunk-by-chunk serialized, or chunk-by-chunk overlapped with dual
+(optionally pinned) buffers.  Those knobs are the class attributes
+``uses_pinned_staging`` and ``overlapped``; subclasses mostly just set
+them.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.combine import ChunkPartial, combine_chunk_results
+from repro.core.context import ExecutionContext, QueryResult, cardinality
+from repro.core.graph import PrimitiveGraph, PrimitiveNode
+from repro.core.hub import DataTransferHub
+from repro.core.pipelines import Pipeline, split_pipelines
+from repro.devices.base import SimulatedDevice, Task
+from repro.errors import ExecutionError
+from repro.hardware import calibration as cal
+from repro.hardware.clock import Event
+from repro.hardware.specs import Sdk
+from repro.primitives.values import value_nbytes
+
+__all__ = ["ExecutionModel", "shallow_hash_pipeline"]
+
+
+def shallow_hash_pipeline(graph: PrimitiveGraph, pipeline: Pipeline) -> bool:
+    """Whether scan data reaches a hash breaker within a few hops.
+
+    This is the structural condition under which the paper observes the
+    OpenCL pinned-memory penalty (Q4: "the query starts with building a
+    hash table"); see ``calibration.OPENCL_SHALLOW_PINNED_FACTOR``.
+    """
+    member = set(pipeline.node_ids)
+    # Seed: nodes directly consuming scan edges.
+    frontier = {
+        e.target for e in graph.edges
+        if e.is_scan and e.target in member
+    }
+    depth = 0
+    seen: set[str] = set()
+    while frontier and depth <= cal.SHALLOW_HOP_THRESHOLD:
+        next_frontier: set[str] = set()
+        for nid in frontier:
+            if nid in seen:
+                continue
+            seen.add(nid)
+            node = graph.nodes[nid]
+            if node.is_breaker:
+                if node.primitive in cal.SHALLOW_HASH_BREAKERS:
+                    return True
+                continue  # non-hash breakers end the walk
+            for edge in graph.out_edges(nid):
+                if edge.target in member:
+                    next_frontier.add(edge.target)
+        frontier = next_frontier
+        depth += 1
+    return False
+
+
+class ExecutionModel(abc.ABC):
+    """Base class: runs a primitive graph pipeline-by-pipeline."""
+
+    name: str = "abstract"
+    #: Chunk staging buffers are host-pinned (4-phase models).
+    uses_pinned_staging: bool = False
+    #: Transfers of chunk c+1 overlap compute of chunk c (dual buffers).
+    overlapped: bool = False
+    #: Override the number of staging buffers per scan column (default:
+    #: 2 for overlapped/pinned models, 1 otherwise).  The dual-buffer
+    #: ablation benchmark varies this; more buffers permit deeper
+    #: prefetch, one buffer forces transfer to wait on the previous
+    #: chunk's compute even in "overlapped" mode (Figure 8).
+    staging_buffers: int | None = None
+    #: Unified-memory mode: chunks are published in host-resident pinned
+    #: buffers without a DMA, and every kernel consuming scan data pays
+    #: the interconnect read itself (Listing 2's CL_MEM_ALLOC_HOST_PTR).
+    zero_copy: bool = False
+
+    def __init__(self, ctx: ExecutionContext) -> None:
+        self.ctx = ctx
+        self.hub = DataTransferHub(ctx)
+        #: node id -> alias of its (current) result buffer
+        self.node_alias: dict[str, str] = {}
+        #: node id -> device name holding that result
+        self.node_device: dict[str, str] = {}
+        self.chunks_processed = 0
+
+    # -- template -----------------------------------------------------------
+
+    def run(self) -> QueryResult:
+        """Execute the context's graph and collect outputs + statistics."""
+        graph = self.ctx.graph
+        graph.validate()
+        graph.reset_runtime_state()
+        for device in self.ctx.devices.values():
+            device.initialize()
+        spans: list[tuple[int, float, float]] = []
+        for pipeline in split_pipelines(graph):
+            started = self.ctx.clock.now()
+            self.run_pipeline(pipeline)
+            spans.append((pipeline.index, started, self.ctx.clock.now()))
+        outputs = self._retrieve_outputs()
+        self.ctx.clock.barrier()
+        stats = self.ctx.collect_stats(chunks=self.chunks_processed,
+                                       pipeline_spans=spans)
+        return QueryResult(outputs=outputs, stats=stats)
+
+    @abc.abstractmethod
+    def run_pipeline(self, pipeline: Pipeline) -> None:
+        """Execute one pipeline (model-specific data movement)."""
+
+    # -- shared node execution --------------------------------------------------
+
+    def pipeline_device(self, pipeline: Pipeline) -> SimulatedDevice:
+        """The device executing *pipeline* (its nodes must agree)."""
+        graph = self.ctx.graph
+        devices = {
+            self.ctx.device_for(graph.nodes[nid]).name
+            for nid in pipeline.node_ids
+        }
+        if len(devices) != 1:
+            raise ExecutionError(
+                f"pipeline {pipeline.index} spans devices {sorted(devices)}; "
+                "annotate one device per pipeline (cross-device edges are "
+                "routed at pipeline boundaries)"
+            )
+        return self.ctx.devices[devices.pop()]  # type: ignore[return-value]
+
+    def scan_length(self, pipeline: Pipeline) -> int:
+        """Row count streamed by *pipeline* (scan columns must agree)."""
+        lengths = {
+            self.ctx.catalog.column(ref).values.shape[0]
+            for ref in pipeline.scan_refs
+        }
+        if len(lengths) > 1:
+            raise ExecutionError(
+                f"pipeline {pipeline.index} scans columns of different "
+                f"lengths {sorted(lengths)}; scans in one pipeline must "
+                "come from one table"
+            )
+        return lengths.pop() if lengths else 0
+
+    def execute_node(self, node: PrimitiveNode, device: SimulatedDevice,
+                     input_aliases: list[str], output_alias: str, *,
+                     deps: list[Event] | None = None,
+                     chunk_base: int = 0,
+                     uma_read_bytes: int = 0) -> Event:
+        """Route inputs, prepare the output buffer, run the kernel.
+
+        Args:
+            uma_read_bytes: Physical bytes the kernel must pull over the
+                interconnect itself (zero-copy mode); charged on the
+                compute stream ahead of the kernel.
+        """
+        container = self.ctx.registry.resolve(
+            node.primitive, node.variant or device.variant_key)
+        wait = list(deps or ())
+        if uma_read_bytes:
+            rate = (device.cost.bandwidth("h2d", pinned=True)
+                    * cal.UMA_READ_EFFICIENCY)
+            wait.append(device.clock.schedule(
+                device.compute_stream,
+                uma_read_bytes * device.data_scale / rate,
+                label=f"{device.name}:uma-read:{node.node_id}",
+                category="transfer",
+                nbytes=uma_read_bytes * device.data_scale,
+            ))
+        routed: list[str] = []
+        for edge, alias in zip(self.ctx.graph.in_edges(node.node_id),
+                               input_aliases):
+            alias, events = self.hub.router(edge, alias, device)
+            routed.append(alias)
+            wait.extend(events)
+        first = device.memory.get(routed[0]) if routed else None
+        n = cardinality(device._resolve_value(first)) if first else 0
+        self.hub.prepare_output_buffer(node, device, output_alias, n)
+        params = node.params
+        offset_param = node.defn.chunk_offset_param
+        if offset_param is not None:
+            params = {**params, offset_param: chunk_base}
+        task = Task(
+            container=container, inputs=routed, output=output_alias,
+            params=params, n_elements=n, cost_params=node.cost_params,
+        )
+        event = device.execute(task, deps=wait)
+        for edge in self.ctx.graph.in_edges(node.node_id):
+            edge.processed_until = max(edge.processed_until,
+                                       edge.fetched_until)
+        for edge in self.ctx.graph.out_edges(node.node_id):
+            edge.device_id = device.name
+        self.node_alias[node.node_id] = output_alias
+        self.node_device[node.node_id] = device.name
+        return event
+
+    def input_alias(self, node_id: str, *, scan_alias_of: dict[str, str]
+                    ) -> list[str]:
+        """Aliases feeding *node_id*: chunk buffers for scans, producer
+        buffers for intermediates."""
+        aliases = []
+        for edge in self.ctx.graph.in_edges(node_id):
+            if edge.is_scan:
+                aliases.append(scan_alias_of[edge.source.ref])
+            else:
+                aliases.append(self.node_alias[edge.source])
+        return aliases
+
+    # -- pinned penalty ---------------------------------------------------------
+
+    def transfer_factor(self, device: SimulatedDevice,
+                        pipeline: Pipeline) -> float:
+        """Per-pipeline multiplier on pinned chunk transfers (the OpenCL
+        shallow-hash penalty; 1.0 everywhere else)."""
+        if not self.uses_pinned_staging:
+            return 1.0
+        if device.sdk is not Sdk.OPENCL:
+            return 1.0
+        if shallow_hash_pipeline(self.ctx.graph, pipeline):
+            return cal.OPENCL_SHALLOW_PINNED_FACTOR
+        return 1.0
+
+    # -- chunked pipeline driver ---------------------------------------------------
+
+    def run_chunked_pipeline(self, pipeline: Pipeline) -> None:
+        """Shared chunk loop of Algorithms 1-3.
+
+        Serialized vs. overlapped behaviour and pinned vs. pageable
+        staging are controlled by ``overlapped`` / ``uses_pinned_staging``.
+        """
+        graph = self.ctx.graph
+        device = self.pipeline_device(pipeline)
+        if not pipeline.is_chunkable:
+            self._run_unchunked(pipeline, device)
+            return
+
+        total = self.scan_length(pipeline)
+        chunk = self.ctx.physical_chunk_rows
+        factor = self.transfer_factor(device, pipeline)
+        n_buffers = self.staging_buffers or (
+            2 if (self.overlapped or self.uses_pinned_staging) else 1
+        )
+
+        # Stage phase: per scan column, allocate the staging buffer(s);
+        # 4-phase uses dual pinned spaces (Figure 8).
+        scan_buffers: dict[str, list[str]] = {}
+        for ref in pipeline.scan_refs:
+            aliases = []
+            width = int(self.ctx.catalog.column(ref).dtype.itemsize)
+            for b in range(n_buffers):
+                alias = f"p{pipeline.index}:s:{ref}:b{b}"
+                if self.uses_pinned_staging:
+                    device.add_pinned_memory(alias, chunk * width)
+                else:
+                    device.prepare_memory(alias, chunk * width)
+                aliases.append(alias)
+            scan_buffers[ref] = aliases
+
+        scan_edges_by_ref: dict[str, list] = {}
+        for nid in pipeline.node_ids:
+            for edge in graph.in_edges(nid):
+                if edge.is_scan:
+                    scan_edges_by_ref.setdefault(edge.source.ref, []).append(edge)
+
+        persisted = self._persisted_nodes(pipeline)
+        partials: dict[str, list[ChunkPartial]] = {nid: [] for nid in persisted}
+
+        chunk_last_compute: list[Event] = []
+        starts = list(range(0, total, chunk)) or [0]
+        full_input_nodes = [
+            nid for nid in pipeline.node_ids
+            if graph.nodes[nid].defn.requires_full_input
+        ]
+        if full_input_nodes and len(starts) > 1:
+            raise ExecutionError(
+                f"primitives {full_input_nodes} require their full input "
+                f"(sorting is not chunk-decomposable); run the plan under "
+                f"'oaat' or with a chunk_size covering all {total} rows"
+            )
+        for ci, start in enumerate(starts):
+            stop = min(start + chunk, total)
+            # Which staging buffer this chunk lands in.
+            scan_alias_of = {
+                ref: buffers[ci % n_buffers]
+                for ref, buffers in scan_buffers.items()
+            }
+            # Transfer dependencies: serialized models wait for the
+            # previous chunk's compute (Algorithm 1); overlapped models
+            # only wait for the buffer's previous occupant (dual spaces).
+            deps: list[Event] = []
+            if not self.overlapped and ci >= 1:
+                deps.append(chunk_last_compute[ci - 1])
+            elif self.overlapped and ci >= n_buffers:
+                deps.append(chunk_last_compute[ci - n_buffers])
+
+            for ref, edges in scan_edges_by_ref.items():
+                event = self.hub.load_data(
+                    edges[0], device, scan_alias_of[ref],
+                    start=start, stop=stop, deps=deps,
+                    transfer_factor=factor,
+                    publish_only=self.zero_copy,
+                )
+                for edge in edges:
+                    edge.device_id = device.name
+                    edge.fetched_until = stop
+
+            last = None
+            for nid in pipeline.node_ids:
+                node = graph.nodes[nid]
+                out_alias = f"p{pipeline.index}:n:{nid}"
+                aliases = self.input_alias(nid, scan_alias_of=scan_alias_of)
+                uma_bytes = 0
+                if self.zero_copy:
+                    uma_bytes = sum(
+                        self.ctx.catalog.column(e.source.ref)
+                        .dtype.itemsize * (stop - start)
+                        for e in graph.in_edges(nid) if e.is_scan
+                    )
+                last = self.execute_node(node, device, aliases, out_alias,
+                                         chunk_base=start,
+                                         uma_read_bytes=uma_bytes)
+                if nid in persisted:
+                    value = device.memory.get(out_alias).value
+                    partials[nid].append(ChunkPartial(value, start))
+            chunk_last_compute.append(last)  # type: ignore[arg-type]
+            self.chunks_processed += 1
+
+        # Threads re-synchronize at the pipeline breaker (Algorithm 2).
+        self.ctx.clock.barrier([device.transfer_stream,
+                                device.compute_stream])
+
+        # Persist combined results in device memory; transient
+        # intermediates are released (chunked models keep only breaker
+        # results alive, Section IV-B).
+        for nid, parts in partials.items():
+            node = graph.nodes[nid]
+            combined = combine_chunk_results(
+                parts, agg_fn=str(node.params.get("fn", "sum")),
+            )
+            alias = self.node_alias[nid]
+            buffer = device.memory.get(alias)
+            buffer.value = combined
+            actual = value_nbytes(combined) * device.data_scale
+            if actual > buffer.nbytes:
+                device.memory.resize(alias, actual,
+                                     at_time=self.ctx.clock.now())
+        for nid in pipeline.node_ids:
+            if nid not in persisted:
+                alias = f"p{pipeline.index}:n:{nid}"
+                if alias in device.memory:
+                    device.delete_memory(alias)
+        # Delete phase: release the staging buffers.
+        for buffers in scan_buffers.values():
+            for alias in buffers:
+                device.delete_memory(alias)
+
+    def _run_unchunked(self, pipeline: Pipeline,
+                       device: SimulatedDevice) -> None:
+        """Run a pipeline once over fully loaded inputs (used for
+        breaker-only pipelines and by operator-at-a-time)."""
+        graph = self.ctx.graph
+        scan_alias_of: dict[str, str] = {}
+        for nid in pipeline.node_ids:
+            for edge in graph.in_edges(nid):
+                if edge.is_scan and edge.source.ref not in scan_alias_of:
+                    alias = f"s:{edge.source.ref}"
+                    if alias not in device.memory:
+                        self.hub.load_data(edge, device, alias)
+                    else:
+                        edge.device_id = device.name
+                    scan_alias_of[edge.source.ref] = alias
+        for nid in pipeline.node_ids:
+            node = graph.nodes[nid]
+            aliases = self.input_alias(nid, scan_alias_of=scan_alias_of)
+            self.execute_node(node, device, aliases, f"p{pipeline.index}:n:{nid}")
+
+    def _persisted_nodes(self, pipeline: Pipeline) -> set[str]:
+        """Nodes whose results outlive the pipeline: breakers, query
+        outputs, and producers feeding later pipelines."""
+        graph = self.ctx.graph
+        member = set(pipeline.node_ids)
+        out = set(pipeline.breaker_ids)
+        out |= member & set(graph.outputs)
+        for edge in graph.edges:
+            if not edge.is_scan and edge.source in member \
+                    and edge.target not in member:
+                out.add(edge.source)
+        return out
+
+    def _retrieve_outputs(self) -> dict[str, object]:
+        outputs: dict[str, object] = {}
+        for nid in self.ctx.graph.outputs:
+            device = self.ctx.devices[self.node_device[nid]]
+            value, _ = device.retrieve_data(  # type: ignore[attr-defined]
+                self.node_alias[nid],
+                via_pinned=self.uses_pinned_staging,
+            )
+            outputs[nid] = value
+        return outputs

@@ -1,0 +1,29 @@
+"""Operator-at-a-time execution (Section IV-A).
+
+The classic co-processor model: every input column is fully resident in
+device memory, each primitive runs once over full columns, and every
+intermediate stays allocated until the query ends.  Fast when everything
+fits (no repeated transfers), but it does not scale: the memory footprint
+is input + all intermediates (Figure 7, right), and execution fails with
+:class:`~repro.errors.DeviceMemoryError` once that exceeds capacity —
+which is exactly the motivation for the chunked models.
+"""
+
+from __future__ import annotations
+
+from repro.core.models.base import ExecutionModel
+from repro.core.pipelines import Pipeline
+
+__all__ = ["OperatorAtATimeModel"]
+
+
+class OperatorAtATimeModel(ExecutionModel):
+    """Full-resident, one-primitive-at-a-time execution."""
+
+    name = "oaat"
+    uses_pinned_staging = False
+    overlapped = False
+
+    def run_pipeline(self, pipeline: Pipeline) -> None:
+        device = self.pipeline_device(pipeline)
+        self._run_unchunked(pipeline, device)

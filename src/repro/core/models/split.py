@@ -1,0 +1,203 @@
+"""Heterogeneous split execution: chunks fan out across all devices.
+
+The paper's models drive a single co-processor; its conclusion names
+operator placement across heterogeneous processors as the next axis of
+the optimization space.  This extension model explores it: a chunkable
+pipeline's chunks are distributed over *every* plugged device,
+proportionally to the devices' estimated processing rates, and the
+per-chunk partials are combined exactly as in single-device chunked
+execution (the combiners are position-aware, so chunk order and global
+row ids survive the fan-out).
+
+Mechanics per pipeline:
+
+* external inputs (hash tables from earlier pipelines) are *broadcast* to
+  every participating device through the transfer hub;
+* each device gets its own staging and intermediate buffers and processes
+  its share of chunks serialized locally, while devices run concurrently
+  (separate stream pairs on the shared clock);
+* breaker partials are collected in global chunk order and combined once,
+  then homed on the fastest device for downstream pipelines.
+
+Sort-style primitives (``requires_full_input``) and breaker-only
+pipelines run on the fastest device alone.
+"""
+
+from __future__ import annotations
+
+from repro.core.combine import ChunkPartial, combine_chunk_results
+from repro.core.models.base import ExecutionModel
+from repro.core.pipelines import Pipeline
+from repro.devices.base import SimulatedDevice
+from repro.errors import ExecutionError
+from repro.hardware.clock import Event
+from repro.primitives.values import value_nbytes
+
+__all__ = ["SplitChunkedModel"]
+
+
+class SplitChunkedModel(ExecutionModel):
+    """Chunk-parallel execution across all plugged devices."""
+
+    name = "split_chunked"
+    uses_pinned_staging = True
+    overlapped = False
+
+    def run_pipeline(self, pipeline: Pipeline) -> None:
+        graph = self.ctx.graph
+        devices = self._participants()
+        fast = devices[0]
+        if not pipeline.is_chunkable or len(devices) == 1 or any(
+            graph.nodes[nid].defn.requires_full_input
+            for nid in pipeline.node_ids
+        ):
+            self._run_single(pipeline, fast)
+            return
+
+        total = self.scan_length(pipeline)
+        chunk = self.ctx.physical_chunk_rows
+        starts = list(range(0, total, chunk)) or [0]
+        shares = self._shares(devices, len(starts))
+
+        # Broadcast external inputs to every participating device (a
+        # daisy-chained copy: each hop retrieves from the previous home).
+        per_device_external: dict[tuple[str, str], str] = {}
+        for ext in pipeline.external_inputs:
+            current = self.node_alias[ext]
+            carrier = next(e for e in graph.edges
+                           if not e.is_scan and e.source == ext)
+            for device in devices:
+                current, _ = self.hub.router(carrier, current, device)
+                per_device_external[(ext, device.name)] = current
+
+        # Assign chunks round-robin weighted by the shares.
+        assignment: list[SimulatedDevice] = []
+        counters = dict.fromkeys(range(len(devices)), 0)
+        for index in range(len(starts)):
+            best = min(
+                range(len(devices)),
+                key=lambda i: (counters[i] + 1) / shares[i],
+            )
+            counters[best] += 1
+            assignment.append(devices[best])
+
+        persisted = self._persisted_nodes(pipeline)
+        partials: dict[str, list[ChunkPartial]] = {n: [] for n in persisted}
+        scan_edges_by_ref = self._scan_edges(pipeline)
+        prev_compute: dict[str, Event] = {}
+        staged: dict[tuple[str, str], str] = {}
+
+        for ci, start in enumerate(starts):
+            device = assignment[ci]
+            stop = min(start + chunk, total)
+            scan_alias_of = {}
+            for ref in pipeline.scan_refs:
+                key = (ref, device.name)
+                if key not in staged:
+                    alias = f"p{pipeline.index}:s:{ref}@{device.name}"
+                    width = int(self.ctx.catalog.column(ref).dtype.itemsize)
+                    device.add_pinned_memory(alias, chunk * width)
+                    staged[key] = alias
+                scan_alias_of[ref] = staged[key]
+            deps = ([prev_compute[device.name]]
+                    if device.name in prev_compute else [])
+            for ref, edges in scan_edges_by_ref.items():
+                self.hub.load_data(edges[0], device, scan_alias_of[ref],
+                                   start=start, stop=stop, deps=deps)
+                for edge in edges:
+                    edge.device_id = device.name
+                    edge.fetched_until = max(edge.fetched_until, stop)
+
+            last = None
+            for nid in pipeline.node_ids:
+                node = graph.nodes[nid]
+                out_alias = f"p{pipeline.index}:n:{nid}@{device.name}"
+                aliases = []
+                for edge in graph.in_edges(nid):
+                    if edge.is_scan:
+                        aliases.append(scan_alias_of[edge.source.ref])
+                    elif edge.source in pipeline.external_inputs:
+                        aliases.append(per_device_external[
+                            (edge.source, device.name)])
+                        edge.device_id = device.name
+                    else:
+                        aliases.append(
+                            f"p{pipeline.index}:n:{edge.source}@{device.name}")
+                last = self.execute_node(node, device, aliases, out_alias,
+                                         chunk_base=start)
+                if nid in persisted:
+                    value = device.memory.get(out_alias).value
+                    partials[nid].append(ChunkPartial(value, start))
+            prev_compute[device.name] = last  # type: ignore[assignment]
+            self.chunks_processed += 1
+
+        self.ctx.clock.barrier(
+            [s for d in devices
+             for s in (d.transfer_stream, d.compute_stream)]
+        )
+
+        # Home the combined results on the fastest device.
+        for nid, parts in partials.items():
+            node = graph.nodes[nid]
+            combined = combine_chunk_results(
+                parts, agg_fn=str(node.params.get("fn", "sum")))
+            alias = f"p{pipeline.index}:n:{nid}"
+            if alias in fast.memory:
+                fast.delete_memory(alias)
+            fast.prepare_memory(alias, value_nbytes(combined))
+            buffer = fast.memory.get(alias)
+            buffer.value = combined
+            self.node_alias[nid] = alias
+            self.node_device[nid] = fast.name
+            for edge in graph.out_edges(nid):
+                edge.device_id = fast.name
+        # Release per-device transient state.
+        for device in devices:
+            for nid in pipeline.node_ids:
+                alias = f"p{pipeline.index}:n:{nid}@{device.name}"
+                if alias in device.memory:
+                    device.delete_memory(alias)
+            for (ref, name), alias in staged.items():
+                if name == device.name and alias in device.memory:
+                    device.delete_memory(alias)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _participants(self) -> list[SimulatedDevice]:
+        """All plugged devices, fastest (by streaming rate) first."""
+        devices = list(self.ctx.devices.values())
+        if not devices:
+            raise ExecutionError("no devices plugged")
+        devices.sort(key=lambda d: -self._rate(d))
+        return devices  # type: ignore[return-value]
+
+    @staticmethod
+    def _rate(device: SimulatedDevice) -> float:
+        """Chunks/second proxy: bounded by interconnect and map rate."""
+        bandwidth = device.cost.bandwidth("h2d", pinned=True)
+        return min(bandwidth, device.cost.throughput("map", 2**20) * 8)
+
+    def _shares(self, devices: list[SimulatedDevice], chunks: int
+                ) -> list[float]:
+        rates = [self._rate(d) for d in devices]
+        total = sum(rates)
+        return [max(rate / total, 1e-6) for rate in rates]
+
+    def _scan_edges(self, pipeline: Pipeline):
+        scan_edges_by_ref: dict[str, list] = {}
+        for nid in pipeline.node_ids:
+            for edge in self.ctx.graph.in_edges(nid):
+                if edge.is_scan:
+                    scan_edges_by_ref.setdefault(
+                        edge.source.ref, []).append(edge)
+        return scan_edges_by_ref
+
+    def _run_single(self, pipeline: Pipeline,
+                    device: SimulatedDevice) -> None:
+        """Non-splittable pipelines: single-device chunked execution.
+
+        Overrides the node device annotations for the pipeline (split
+        mode owns placement)."""
+        for nid in pipeline.node_ids:
+            self.ctx.graph.nodes[nid].device = device.name
+        self.run_chunked_pipeline(pipeline)

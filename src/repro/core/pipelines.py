@@ -1,0 +1,122 @@
+"""Pipeline splitting (Section III-B2).
+
+ADAMANT is aware of pipeline breakers: a breaker's result is materialized
+in device memory and ends its pipeline.  A query with several breakers is
+split into pipelines, each an *execution group* whose primitives run
+together, and the groups execute in dependency order — Q3's two hash builds
+must finish before the probe pipeline starts.
+
+Pipelines are the maximal connected subgraphs left after cutting every
+edge that leaves a pipeline breaker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.graph import PrimitiveGraph
+from repro.errors import GraphValidationError
+
+__all__ = ["Pipeline", "split_pipelines"]
+
+
+@dataclass
+class Pipeline:
+    """One execution group.
+
+    Attributes:
+        index: Position in the dependency order.
+        node_ids: Member nodes in topological order.
+        scan_refs: Base-table columns streamed into this pipeline.
+        external_inputs: Node ids of breaker results from earlier
+            pipelines this one consumes (device-resident, not chunked).
+        breaker_ids: Member nodes that are pipeline breakers.
+    """
+
+    index: int
+    node_ids: list[str] = field(default_factory=list)
+    scan_refs: list[str] = field(default_factory=list)
+    external_inputs: list[str] = field(default_factory=list)
+    breaker_ids: list[str] = field(default_factory=list)
+
+    @property
+    def is_chunkable(self) -> bool:
+        """Whether the pipeline streams base data (chunked models only
+        chunk scans; breaker-only pipelines run once)."""
+        return bool(self.scan_refs)
+
+
+def split_pipelines(graph: PrimitiveGraph) -> list[Pipeline]:
+    """Partition *graph* into pipelines in dependency order."""
+    order = graph.topological_order()
+
+    # Union-find over nodes; edges out of breakers are cut.
+    parent = {nid: nid for nid in graph.nodes}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for edge in graph.edges:
+        if edge.is_scan:
+            continue
+        if graph.nodes[edge.source].is_breaker:
+            continue  # cut: breaker output enters a later pipeline
+        union(edge.source, edge.target)
+
+    groups: dict[str, list[str]] = {}
+    for nid in order:  # topological order inside each group
+        groups.setdefault(find(nid), []).append(nid)
+
+    # Order groups by dependencies (breaker -> consumer edges).
+    group_of = {nid: root for root, members in groups.items()
+                for nid in members}
+    deps: dict[str, set[str]] = {root: set() for root in groups}
+    for edge in graph.edges:
+        if edge.is_scan:
+            continue
+        source_group = group_of[edge.source]
+        target_group = group_of[edge.target]
+        if source_group != target_group:
+            deps[target_group].add(source_group)
+
+    ordered_roots: list[str] = []
+    remaining = dict(deps)
+    while remaining:
+        ready = sorted(
+            root for root, ds in remaining.items()
+            if ds <= set(ordered_roots)
+        )
+        if not ready:
+            raise GraphValidationError(
+                f"cyclic pipeline dependencies in graph {graph.name!r}"
+            )
+        ordered_roots.extend(ready)
+        for root in ready:
+            del remaining[root]
+
+    pipelines: list[Pipeline] = []
+    for index, root in enumerate(ordered_roots):
+        members = groups[root]
+        member_set = set(members)
+        pipeline = Pipeline(index=index, node_ids=members)
+        for nid in members:
+            node = graph.nodes[nid]
+            if node.is_breaker:
+                pipeline.breaker_ids.append(nid)
+            for edge in graph.in_edges(nid):
+                if edge.is_scan:
+                    if edge.source.ref not in pipeline.scan_refs:
+                        pipeline.scan_refs.append(edge.source.ref)
+                elif edge.source not in member_set:
+                    if edge.source not in pipeline.external_inputs:
+                        pipeline.external_inputs.append(edge.source)
+        pipelines.append(pipeline)
+    return pipelines

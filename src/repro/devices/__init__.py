@@ -1,0 +1,23 @@
+"""Device layer: the ten pluggable interfaces and the simulated drivers."""
+
+from repro.devices.base import Device, SimulatedDevice, Task
+from repro.devices.cuda import CudaDevice
+from repro.devices.fpga import FpgaDevice
+from repro.devices.memory import Buffer, MemoryManager
+from repro.devices.opencl import OpenCLDevice
+from repro.devices.openmp import OpenMPDevice
+from repro.devices.transforms import KNOWN_FORMATS, register_default_transforms
+
+__all__ = [
+    "Device",
+    "SimulatedDevice",
+    "Task",
+    "Buffer",
+    "MemoryManager",
+    "OpenCLDevice",
+    "CudaDevice",
+    "OpenMPDevice",
+    "FpgaDevice",
+    "KNOWN_FORMATS",
+    "register_default_transforms",
+]

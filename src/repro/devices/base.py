@@ -1,0 +1,447 @@
+"""The device layer: the paper's ten pluggable interfaces (Section III-A).
+
+:class:`Device` is the abstract boundary between the query engine and a
+co-processor SDK.  A new co-processor (or a new SDK for an existing one) is
+integrated by implementing these interfaces — nothing in the task or
+runtime layers changes, which is the paper's central claim.
+
+:class:`SimulatedDevice` is a full implementation backed by the virtual
+clock and a calibrated cost model: every interface call charges its
+simulated duration to the device's ``transfer`` or ``compute`` stream while
+the payloads are real numpy values, so query results are exact and timing
+is deterministic.  The concrete drivers in :mod:`repro.devices.opencl`,
+:mod:`repro.devices.cuda` and :mod:`repro.devices.openmp` specialize it the
+way the paper's OpenCL/CUDA/OpenMP drivers specialize the C++ interfaces.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import (
+    DeviceNotInitializedError,
+    KernelCompilationError,
+)
+from repro.hardware.clock import Event, VirtualClock
+from repro.hardware.costmodel import CostModel, TransferDirection
+from repro.hardware.specs import DeviceKind, DeviceSpec, Sdk
+from repro.primitives.definitions import definition
+from repro.primitives.values import value_nbytes
+from repro.task.containers import DataContainer, KernelContainer
+from repro.devices.memory import Buffer, MemoryManager
+
+__all__ = ["Device", "SimulatedDevice", "Task"]
+
+
+@dataclass
+class Task:
+    """An executable unit handed to ``Device.execute`` (Section III-B1).
+
+    Attributes:
+        container: The kernel implementation to run.
+        inputs: Buffer aliases holding the kernel's positional inputs.
+        output: Alias to store the result under (``None`` discards it).
+        params: Keyword parameters forwarded to the kernel.
+        n_elements: Input cardinality the cost model charges for.
+        cost_params: Extra cost-model knobs (e.g. ``groups``).
+    """
+
+    container: KernelContainer
+    inputs: list[str]
+    output: str | None
+    params: dict = field(default_factory=dict)
+    n_elements: int = 0
+    cost_params: dict = field(default_factory=dict)
+
+
+class Device(abc.ABC):
+    """Abstract co-processor with the paper's ten device interfaces."""
+
+    name: str
+
+    # -- data management (mandatory group) ---------------------------------
+
+    @abc.abstractmethod
+    def place_data(self, alias: str, data: object, *, offset: int = 0,
+                   deps: list[Event] | None = None) -> Event:
+        """Push *data* into the device buffer *alias* (H2D transfer).
+
+        Allocates the buffer on first use, like the ``clCreateBuffer`` in
+        the paper's Listing 1."""
+
+    @abc.abstractmethod
+    def retrieve_data(self, alias: str, *, deps: list[Event] | None = None
+                      ) -> tuple[object, Event]:
+        """Read the value of *alias* back to the host (D2H transfer)."""
+
+    @abc.abstractmethod
+    def prepare_memory(self, alias: str, nbytes: int) -> Event:
+        """Allocate *nbytes* of device memory under *alias*."""
+
+    @abc.abstractmethod
+    def transform_memory(self, alias: str, source_format: str,
+                         target_format: str) -> Event:
+        """Re-interpret *alias* from one SDK data type to another without
+        moving bytes (Figure 4)."""
+
+    @abc.abstractmethod
+    def delete_memory(self, alias: str) -> Event:
+        """De-allocate *alias*."""
+
+    @abc.abstractmethod
+    def create_chunk(self, alias: str, chunk_alias: str, *, offset: int,
+                     size: int) -> Event:
+        """Register *chunk_alias* as a zero-copy view of rows
+        ``[offset, offset+size)`` of *alias*."""
+
+    @abc.abstractmethod
+    def add_pinned_memory(self, alias: str, nbytes: int) -> Event:
+        """Reserve host-accessible pinned memory (Listing 2) used by the
+        4-phase execution model for fast DMA staging."""
+
+    # -- kernel management (optional group) ----------------------------------
+
+    @abc.abstractmethod
+    def prepare_kernel(self, container: KernelContainer) -> Event:
+        """Compile / resolve the kernel held by *container* (Listing 4)."""
+
+    # -- control -------------------------------------------------------------
+
+    @abc.abstractmethod
+    def initialize(self) -> None:
+        """Set device properties; must be called before any other use."""
+
+    @abc.abstractmethod
+    def execute(self, task: Task, *, deps: list[Event] | None = None) -> Event:
+        """Run *task* on this device (Listing 5)."""
+
+
+class SimulatedDevice(Device):
+    """A fully functional simulated driver.
+
+    Subclasses set ``sdk``, may restrict supported :class:`DeviceKind`, and
+    may disable runtime kernel compilation (the paper makes the kernel
+    group optional for exactly that reason).
+    """
+
+    sdk: Sdk
+    supported_kinds: tuple[DeviceKind, ...] = (DeviceKind.CPU, DeviceKind.GPU)
+    supports_compilation: bool = True
+
+    def __init__(self, name: str, spec: DeviceSpec, clock: VirtualClock, *,
+                 memory_limit: int | None = None) -> None:
+        """Create a driver for *spec* on the shared *clock*.
+
+        Args:
+            name: Unique instance id (stream names derive from it).
+            spec: Hardware the driver runs on.
+            clock: Shared virtual clock of the execution.
+            memory_limit: Optional cap below ``spec.memory_bytes`` —
+                benchmarks use it to study larger-than-memory behaviour at
+                laptop-sized data volumes.
+        """
+        if spec.kind not in self.supported_kinds:
+            raise DeviceNotInitializedError(
+                f"{type(self).__name__} does not support "
+                f"{spec.kind.value} devices"
+            )
+        self.name = name
+        self.spec = spec
+        self.clock = clock
+        self.cost = self._make_cost_model()
+        capacity = memory_limit if memory_limit is not None else spec.memory_bytes
+        self.memory = MemoryManager(capacity)
+        self.data_container = DataContainer(native_format=self.data_format)
+        #: Each physical row stands for this many logical rows: time and
+        #: memory are charged at logical scale, so paper-scale experiments
+        #: (SF 100, GB inputs) run on laptop-sized arrays with the exact
+        #: large-scale cost structure.  Set by the executor per run.
+        self.data_scale = 1
+        self._initialized = False
+        self._compiled: set[str] = set()
+
+    def _make_cost_model(self) -> CostModel:
+        """Build this driver's cost model; plug-ins may override to supply
+        their own calibration (any object with the CostModel interface)."""
+        return CostModel(self.spec, self.sdk)
+
+    # -- identity -------------------------------------------------------------
+
+    @property
+    def variant_key(self) -> str:
+        """Key used to resolve kernel variants in the task registry.
+
+        Defaults to the SDK name; a plug-in wrapper may override it to get
+        its own kernel namespace while reusing an existing SDK's cost
+        basis.
+        """
+        return self.sdk.value
+
+    @property
+    def data_format(self) -> str:
+        """The SDK's native data-format tag (``"cuda.devptr"`` ...)."""
+        return f"{self.variant_key}.buffer"
+
+    @property
+    def transfer_stream(self) -> str:
+        return f"{self.name}.transfer"
+
+    @property
+    def compute_stream(self) -> str:
+        return f"{self.name}.compute"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<{type(self).__name__} {self.name!r} on {self.spec.name} "
+                f"[{self.sdk.value}]>")
+
+    # -- control ----------------------------------------------------------------
+
+    def initialize(self) -> None:
+        """Create the device context/queues (charged once per device)."""
+        if self._initialized:
+            return
+        self.clock.schedule(
+            self.compute_stream, self.cost.profile.launch_overhead * 10,
+            label=f"{self.name}:initialize", category="setup",
+        )
+        self._initialized = True
+
+    def reset(self) -> None:
+        """Release all buffers and require a fresh ``initialize()``.
+
+        Called by the executor between query runs so memory accounting
+        and footprint traces start clean on the (reset) shared clock.
+        """
+        capacity = self.memory.capacity_bytes
+        self.memory = MemoryManager(capacity)
+        self._initialized = False
+
+    def _require_initialized(self) -> None:
+        if not self._initialized:
+            raise DeviceNotInitializedError(
+                f"device {self.name!r} used before initialize()"
+            )
+
+    # -- data management -----------------------------------------------------------
+
+    def place_data(self, alias: str, data: object, *, offset: int = 0,
+                   deps: list[Event] | None = None) -> Event:
+        self._require_initialized()
+        nbytes = value_nbytes(data) * self.data_scale
+        if alias not in self.memory:
+            self.prepare_memory(alias, value_nbytes(data))
+        buffer = self.memory.get(alias)
+        event = self.clock.schedule(
+            self.transfer_stream,
+            self.cost.transfer_seconds(
+                nbytes, direction=TransferDirection.H2D, pinned=buffer.pinned,
+            ),
+            label=f"{self.name}:h2d:{alias}",
+            deps=deps,
+            category="transfer",
+            nbytes=nbytes,
+        )
+        self._store(buffer, data, event)
+        return event
+
+    def retrieve_data(self, alias: str, *, deps: list[Event] | None = None,
+                      via_pinned: bool = False) -> tuple[object, Event]:
+        """Read *alias* back to the host.
+
+        Args:
+            via_pinned: Charge the transfer at pinned bandwidth even for a
+                device-resident buffer — the 4-phase model returns pipeline
+                breaker results through pinned staging (Section IV-C).
+        """
+        self._require_initialized()
+        buffer = self.memory.get(alias)
+        value = self._resolve_value(buffer)
+        nbytes = value_nbytes(value) * self.data_scale
+        wait = list(deps or ())
+        if buffer.ready is not None:
+            wait.append(buffer.ready)
+        event = self.clock.schedule(
+            self.transfer_stream,
+            self.cost.transfer_seconds(
+                nbytes, direction=TransferDirection.D2H,
+                pinned=buffer.pinned or via_pinned,
+            ),
+            label=f"{self.name}:d2h:{alias}",
+            deps=wait,
+            category="transfer",
+            nbytes=nbytes,
+        )
+        return value, event
+
+    def prepare_memory(self, alias: str, nbytes: int) -> Event:
+        self._require_initialized()
+        logical = nbytes * self.data_scale
+        self.memory.allocate(
+            alias, logical, data_format=self.data_format,
+            at_time=self.clock.now(),
+        )
+        return self.clock.schedule(
+            self.compute_stream, self.cost.alloc_seconds(logical),
+            label=f"{self.name}:alloc:{alias}", category="alloc",
+        )
+
+    def add_pinned_memory(self, alias: str, nbytes: int) -> Event:
+        self._require_initialized()
+        logical = nbytes * self.data_scale
+        self.memory.allocate(
+            alias, logical, pinned=True, data_format=self.data_format,
+            at_time=self.clock.now(),
+        )
+        return self.clock.schedule(
+            self.compute_stream, self.cost.alloc_seconds(logical, pinned=True),
+            label=f"{self.name}:pinned-alloc:{alias}", category="alloc",
+        )
+
+    def transform_memory(self, alias: str, source_format: str,
+                         target_format: str) -> Event:
+        self._require_initialized()
+        buffer = self.memory.get(alias)
+        buffer.value = self.data_container.transform(
+            buffer.value, source_format, target_format,
+        )
+        buffer.data_format = target_format
+        return self.clock.schedule(
+            self.compute_stream,
+            self.cost.transform_seconds(buffer.nbytes),
+            label=f"{self.name}:transform:{alias}", category="transform",
+        )
+
+    def delete_memory(self, alias: str) -> Event:
+        self._require_initialized()
+        nbytes = self.memory.get(alias).nbytes
+        self.memory.free(alias, at_time=self.clock.now())
+        return self.clock.schedule(
+            self.compute_stream, self.cost.free_seconds(nbytes),
+            label=f"{self.name}:free:{alias}", category="alloc",
+        )
+
+    def create_chunk(self, alias: str, chunk_alias: str, *, offset: int,
+                     size: int) -> Event:
+        self._require_initialized()
+        parent = self.memory.get(alias)
+        view = self.memory.add_view(chunk_alias, alias)
+        if isinstance(parent.value, np.ndarray):
+            view.value = parent.value[offset:offset + size]
+        view.ready = parent.ready
+        # Registering a sub-buffer is host-side bookkeeping only.
+        return self.clock.schedule(
+            self.compute_stream, 1e-6,
+            label=f"{self.name}:chunk:{chunk_alias}", category="alloc",
+        )
+
+    # -- kernel management ------------------------------------------------------------
+
+    def prepare_kernel(self, container: KernelContainer) -> Event:
+        self._require_initialized()
+        if not self.supports_compilation:
+            raise KernelCompilationError(
+                f"{type(self).__name__} ({self.sdk.value}) does not support "
+                "runtime kernel compilation; register a pre-built kernel"
+            )
+        key = f"{container.primitive}:{container.variant}"
+        duration = 0.0 if key in self._compiled else self.cost.compile_seconds()
+        self._compiled.add(key)
+        container.compiled = True
+        return self.clock.schedule(
+            self.compute_stream, duration,
+            label=f"{self.name}:compile:{key}", category="compile",
+        )
+
+    # -- execution ----------------------------------------------------------------------
+
+    def execute(self, task: Task, *, deps: list[Event] | None = None) -> Event:
+        self._require_initialized()
+        if task.container.needs_compilation:
+            self.prepare_kernel(task.container)
+        wait = list(deps or ())
+        values = []
+        for alias in task.inputs:
+            buffer = self.memory.get(alias)
+            if buffer.ready is not None:
+                wait.append(buffer.ready)
+            values.append(self._resolve_value(buffer))
+
+        # The kernel runs functionally first so the cost model can use the
+        # true result statistics (e.g. the group count of HASH_AGG, which a
+        # real shared hash table pays for through atomic contention).
+        result = task.container(*values, **task.params)
+        self._check_output_semantic(task.container.primitive, result)
+        cost_params = dict(task.cost_params)
+        if "groups" not in cost_params and hasattr(result, "num_groups"):
+            # Group cardinality scales with the data (e.g. Q3's orderkey
+            # groups); plans with fixed group counts (Q1, Q4) override via
+            # cost_params.
+            cost_params["groups"] = max(1, result.num_groups * self.data_scale)
+
+        launch = self.clock.schedule(
+            self.compute_stream,
+            self.cost.launch_seconds(task.container.num_args),
+            label=f"{self.name}:launch:{task.container.primitive}",
+            deps=wait,
+            category="launch",
+        )
+        cost_key = (task.container.cost_key
+                    or definition(task.container.primitive).cost_key)
+        event = self.clock.schedule(
+            self.compute_stream,
+            self.cost.kernel_seconds(cost_key,
+                                     task.n_elements * self.data_scale,
+                                     **cost_params),
+            label=f"{self.name}:run:{task.container.primitive}",
+            deps=[launch],
+            category="compute",
+        )
+
+        if task.output is not None:
+            if task.output not in self.memory:
+                self.prepare_memory(task.output, value_nbytes(result))
+            out = self.memory.get(task.output)
+            actual = value_nbytes(result) * self.data_scale
+            if out.view_of is None and actual > out.nbytes:
+                self.memory.resize(task.output, actual,
+                                   at_time=self.clock.now())
+            self._store(out, result, event)
+        return event
+
+    # -- helpers --------------------------------------------------------------------------
+
+    @staticmethod
+    def _check_output_semantic(primitive: str, result: object) -> None:
+        """Enforce the primitive's declared output semantic at runtime.
+
+        Plugged kernel variants only have to *adhere to the I/O
+        semantics* (Section III-B2); this check catches a variant that
+        silently returns the wrong edge type before the value corrupts a
+        downstream primitive.
+        """
+        from repro.errors import SignatureError
+        from repro.primitives.values import IOSemantic, semantic_of
+
+        expected = definition(primitive).output
+        if expected is IOSemantic.GENERIC or result is None:
+            return
+        produced = semantic_of(result)
+        if produced is not expected and produced is not IOSemantic.GENERIC:
+            raise SignatureError(
+                f"kernel for {primitive!r} returned a "
+                f"{produced.value} value; the primitive definition "
+                f"declares {expected.value}"
+            )
+
+    def _store(self, buffer: Buffer, value: object, event: Event) -> None:
+        buffer.value = value
+        buffer.ready = event
+
+    def _resolve_value(self, buffer: Buffer) -> object:
+        """Value of a buffer, following chunk views lazily."""
+        if buffer.value is None and buffer.view_of is not None:
+            return self.memory.get(buffer.view_of).value
+        return buffer.value

@@ -1,0 +1,21 @@
+"""Simulated CUDA driver — the hardware-aware GPU SDK.
+
+CUDA reaches the full interconnect bandwidth (Figure 3), has the lowest
+launch overhead, and needs no explicit kernel-argument mapping, which is
+why the paper's hardware-conscious configurations use it.  GPU-only.
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import SimulatedDevice
+from repro.hardware.specs import DeviceKind, Sdk
+
+__all__ = ["CudaDevice"]
+
+
+class CudaDevice(SimulatedDevice):
+    """CUDA driver for NVIDIA GPUs."""
+
+    sdk = Sdk.CUDA
+    supported_kinds = (DeviceKind.GPU,)
+    supports_compilation = True  # NVRTC

@@ -1,0 +1,55 @@
+"""Simulated FPGA driver — the paper's "integration of other
+co-processors" case study (Section III-A2).
+
+The paper sketches how an FPGA plugs into the ten interfaces: data
+transfer doubles as execution trigger (DMA into a configured overlay),
+runtime "compilation" means partial reconfiguration of a pre-synthesized
+region, and the device excels at deeply pipelined streaming.  This driver
+realizes that profile on the simulated substrate:
+
+* programmed through the OpenCL-for-FPGA toolchain (``variant_key``
+  ``"fpga"`` so FPGA-specific kernels can be registered while everything
+  else falls back to the reference implementations);
+* ``prepare_kernel`` charges a partial reconfiguration (~80 ms) instead
+  of a JIT compile;
+* kernel launches cost DMA descriptor setup;
+* streaming primitives run at line rate and the hash structures are
+  contention-free BRAM pipelines (the cost model disables the GPU
+  contention curves for the FPGA kind).
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import SimulatedDevice
+from repro.hardware import calibration as cal
+from repro.hardware.costmodel import CostModel
+from repro.hardware.specs import DeviceKind, Sdk
+
+__all__ = ["FpgaDevice"]
+
+
+class _FpgaCostModel(CostModel):
+    """OpenCL cost basis with FPGA kernel-management costs."""
+
+    def compile_seconds(self) -> float:
+        return cal.FPGA_RECONFIGURE_SECONDS
+
+    def launch_seconds(self, num_args: int = 0) -> float:
+        # DMA descriptor setup; no per-argument host mapping (arguments
+        # are baked into the overlay configuration).
+        return cal.FPGA_LAUNCH_SECONDS
+
+
+class FpgaDevice(SimulatedDevice):
+    """An FPGA accelerator card behind the ten device interfaces."""
+
+    sdk = Sdk.OPENCL
+    supported_kinds = (DeviceKind.FPGA,)
+    supports_compilation = True  # partial reconfiguration
+
+    @property
+    def variant_key(self) -> str:
+        return "fpga"
+
+    def _make_cost_model(self) -> CostModel:
+        return _FpgaCostModel(self.spec, self.sdk)

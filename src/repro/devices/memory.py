@@ -1,0 +1,188 @@
+"""Device memory manager: allocation accounting for simulated devices.
+
+Tracks every buffer a driver allocates, enforces the device's capacity
+(raising :class:`~repro.errors.DeviceMemoryError` like a real
+``cudaMalloc`` failure), distinguishes *device* memory from *host-pinned*
+memory (pinned buffers consume host RAM, not device capacity — they exist
+for fast DMA in the 4-phase model), and records a time-stamped footprint
+trace that regenerates the memory-pressure plot of Figure 7 (right).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceMemoryError, UnknownBufferError
+from repro.hardware.clock import Event
+
+__all__ = ["Buffer", "MemoryManager"]
+
+
+@dataclass
+class Buffer:
+    """One allocation on a device (or in host-pinned space).
+
+    Attributes:
+        alias: The id the runtime addresses the buffer by.
+        nbytes: Reserved capacity (what counts against device memory).
+        value: Current payload (numpy array or an edge value type).
+        pinned: True for host-pinned staging buffers.
+        data_format: SDK data-format tag (``"opencl.buffer"`` ...);
+            ``transform_memory`` re-tags it without copying.
+        view_of: Alias of the parent buffer for ``create_chunk`` views
+            (views reserve no extra capacity).
+        ready: The clock event that last wrote this buffer; executions
+            reading the buffer depend on it.
+    """
+
+    alias: str
+    nbytes: int
+    value: object = None
+    pinned: bool = False
+    data_format: str = ""
+    view_of: str | None = None
+    ready: Event | None = None
+
+
+class MemoryManager:
+    """Capacity-enforcing allocation table for one device."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise DeviceMemoryError(
+                f"device capacity must be positive, got {capacity_bytes}"
+            )
+        self.capacity_bytes = int(capacity_bytes)
+        self._buffers: dict[str, Buffer] = {}
+        self._device_used = 0
+        self._pinned_used = 0
+        self.peak_device_used = 0
+        self.footprint_trace: list[tuple[float, int]] = [(0.0, 0)]
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def device_used(self) -> int:
+        return self._device_used
+
+    @property
+    def pinned_used(self) -> int:
+        return self._pinned_used
+
+    @property
+    def device_free(self) -> int:
+        return self.capacity_bytes - self._device_used
+
+    def __contains__(self, alias: str) -> bool:
+        return alias in self._buffers
+
+    def get(self, alias: str) -> Buffer:
+        try:
+            return self._buffers[alias]
+        except KeyError:
+            raise UnknownBufferError(
+                f"no buffer {alias!r}; allocated: {sorted(self._buffers)}"
+            ) from None
+
+    def aliases(self) -> list[str]:
+        return sorted(self._buffers)
+
+    # -- allocation ----------------------------------------------------------
+
+    def allocate(self, alias: str, nbytes: int, *, pinned: bool = False,
+                 data_format: str = "", at_time: float = 0.0) -> Buffer:
+        """Reserve *nbytes* under *alias*.
+
+        Raises :class:`DeviceMemoryError` when a device allocation would
+        exceed capacity (pinned buffers are host-side and unbounded here).
+        """
+        if alias in self._buffers:
+            raise DeviceMemoryError(f"buffer {alias!r} already allocated")
+        if nbytes < 0:
+            raise DeviceMemoryError(f"negative allocation {nbytes}")
+        if not pinned and nbytes > self.device_free:
+            raise DeviceMemoryError(
+                f"allocation of {nbytes} B exceeds free device memory "
+                f"({self.device_free} of {self.capacity_bytes} B free)",
+                requested=nbytes,
+                available=self.device_free,
+            )
+        buffer = Buffer(alias=alias, nbytes=int(nbytes), pinned=pinned,
+                        data_format=data_format)
+        self._buffers[alias] = buffer
+        if pinned:
+            self._pinned_used += buffer.nbytes
+        else:
+            self._device_used += buffer.nbytes
+            self.peak_device_used = max(self.peak_device_used,
+                                        self._device_used)
+            self.footprint_trace.append((at_time, self._device_used))
+        return buffer
+
+    def add_view(self, alias: str, parent: str, *,
+                 data_format: str = "") -> Buffer:
+        """Register a zero-copy view (``create_chunk``) of *parent*."""
+        if alias in self._buffers:
+            raise DeviceMemoryError(f"buffer {alias!r} already allocated")
+        parent_buffer = self.get(parent)
+        buffer = Buffer(
+            alias=alias, nbytes=0, pinned=parent_buffer.pinned,
+            data_format=data_format or parent_buffer.data_format,
+            view_of=parent,
+        )
+        self._buffers[alias] = buffer
+        return buffer
+
+    def resize(self, alias: str, nbytes: int, *, at_time: float = 0.0) -> None:
+        """Grow (or shrink) the reservation of *alias*.
+
+        The runtime pre-allocates result buffers from estimates
+        (``prepare_output_buffer``); when an actual result overflows the
+        estimate the driver re-allocates, which may legitimately OOM.
+        """
+        buffer = self.get(alias)
+        if buffer.view_of is not None:
+            raise DeviceMemoryError(f"cannot resize view {alias!r}")
+        delta = int(nbytes) - buffer.nbytes
+        if buffer.pinned:
+            self._pinned_used += delta
+        else:
+            if delta > self.device_free:
+                raise DeviceMemoryError(
+                    f"resize of {alias!r} to {nbytes} B exceeds free device "
+                    f"memory ({self.device_free} B free)",
+                    requested=delta,
+                    available=self.device_free,
+                )
+            self._device_used += delta
+            self.peak_device_used = max(self.peak_device_used,
+                                        self._device_used)
+            self.footprint_trace.append((at_time, self._device_used))
+        buffer.nbytes = int(nbytes)
+
+    def free(self, alias: str, *, at_time: float = 0.0) -> None:
+        """Release *alias* (views release no capacity)."""
+        buffer = self.get(alias)
+        dependents = [b.alias for b in self._buffers.values()
+                      if b.view_of == alias]
+        if dependents:
+            raise DeviceMemoryError(
+                f"buffer {alias!r} still has live views: {dependents}"
+            )
+        del self._buffers[alias]
+        if buffer.view_of is not None:
+            return
+        if buffer.pinned:
+            self._pinned_used -= buffer.nbytes
+        else:
+            self._device_used -= buffer.nbytes
+            self.footprint_trace.append((at_time, self._device_used))
+
+    def free_all(self, *, at_time: float = 0.0) -> None:
+        """Release everything (end-of-query cleanup)."""
+        # Views first so parent frees never see live views.
+        for alias in [a for a, b in self._buffers.items()
+                      if b.view_of is not None]:
+            self.free(alias, at_time=at_time)
+        for alias in list(self._buffers):
+            self.free(alias, at_time=at_time)

@@ -1,0 +1,24 @@
+"""Simulated OpenCL driver — the hardware-oblivious wrapper of the paper.
+
+One driver class serves both CPUs and GPUs (OpenCL's portability claim);
+what it pays for that portability is encoded in the cost model: reduced
+transfer bandwidth (translation overhead, Figure 3), higher kernel-launch
+cost, and the explicit per-argument data mapping that dominates the
+abstraction overhead of Figure 10.  Supports runtime kernel compilation
+(``clBuildProgram``), so generated kernels are allowed.
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import SimulatedDevice
+from repro.hardware.specs import DeviceKind, Sdk
+
+__all__ = ["OpenCLDevice"]
+
+
+class OpenCLDevice(SimulatedDevice):
+    """OpenCL wrapper over any supported processor (Section III-A1)."""
+
+    sdk = Sdk.OPENCL
+    supported_kinds = (DeviceKind.CPU, DeviceKind.GPU)
+    supports_compilation = True

@@ -1,0 +1,24 @@
+"""Simulated OpenMP driver — the hardware-aware CPU SDK.
+
+OpenMP kernels are compiled ahead of time with the engine, so this driver
+exercises the paper's rule that the *kernel-management* interface group is
+optional: ``prepare_kernel`` is unsupported and pre-built kernels are used
+directly.  Thread-team fork/join appears as the launch overhead, and the
+explicit thread scheduling shows up as slightly lower filter throughput
+than OpenCL-on-CPU (Figure 9a).
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import SimulatedDevice
+from repro.hardware.specs import DeviceKind, Sdk
+
+__all__ = ["OpenMPDevice"]
+
+
+class OpenMPDevice(SimulatedDevice):
+    """OpenMP driver for host CPUs (no runtime compilation)."""
+
+    sdk = Sdk.OPENMP
+    supported_kinds = (DeviceKind.CPU,)
+    supports_compilation = False

@@ -1,0 +1,30 @@
+"""SDK-to-SDK data-format transformations (Figure 4).
+
+The paper dedicates a device interface to *transforming* a device-resident
+buffer from one SDK's data type to another (e.g. an OpenCL ``cl_mem`` into
+a CUDA device pointer, or a Thrust vector into a raw pointer) so the bytes
+never round-trip through the host.  In the simulation every SDK stores
+numpy values, so the converters are identity functions — but they are real
+registry entries: a missing pair raises
+:class:`~repro.errors.TransformError` exactly as an unconvertible format
+would, and the router counts/charges the transform calls it makes.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.devices.base import SimulatedDevice
+from repro.hardware.specs import Sdk
+
+__all__ = ["register_default_transforms", "KNOWN_FORMATS"]
+
+KNOWN_FORMATS = [f"{sdk.value}.buffer" for sdk in Sdk] + ["fpga.buffer"]
+
+
+def register_default_transforms(device: SimulatedDevice) -> None:
+    """Register identity converters between all known SDK formats on
+    *device*'s data container."""
+    for source, target in permutations(KNOWN_FORMATS, 2):
+        device.data_container.register_transform(source, target,
+                                                 lambda value: value)

@@ -1,0 +1,111 @@
+"""Exception hierarchy for the ADAMANT reproduction.
+
+Every error raised by this library derives from :class:`AdamantError`, so a
+caller can catch one type to handle any library failure.  Sub-hierarchies
+mirror the three architectural layers of the paper (device, task, runtime)
+plus the storage / workload substrates.
+"""
+
+from __future__ import annotations
+
+
+class AdamantError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Device layer
+# ---------------------------------------------------------------------------
+
+
+class DeviceError(AdamantError):
+    """Base class for device-layer failures."""
+
+
+class DeviceMemoryError(DeviceError):
+    """An allocation exceeded the device's (simulated) memory capacity."""
+
+    def __init__(self, message: str, requested: int = 0, available: int = 0):
+        super().__init__(message)
+        self.requested = requested
+        self.available = available
+
+
+class UnknownBufferError(DeviceError):
+    """An operation referenced a buffer alias that is not allocated."""
+
+
+class KernelCompilationError(DeviceError):
+    """``prepare_kernel`` could not compile / resolve the named kernel."""
+
+
+class DeviceNotInitializedError(DeviceError):
+    """A device interface was used before ``initialize()`` was called."""
+
+
+class TransformError(DeviceError):
+    """``transform_memory`` could not convert between SDK data formats."""
+
+
+# ---------------------------------------------------------------------------
+# Task layer
+# ---------------------------------------------------------------------------
+
+
+class TaskError(AdamantError):
+    """Base class for task-layer failures."""
+
+
+class SignatureError(TaskError):
+    """A kernel implementation does not adhere to its primitive signature."""
+
+
+class UnknownPrimitiveError(TaskError):
+    """A plan referenced a primitive with no registered definition."""
+
+
+class NoImplementationError(TaskError):
+    """No kernel variant is registered for a (primitive, driver) pair."""
+
+
+# ---------------------------------------------------------------------------
+# Runtime layer
+# ---------------------------------------------------------------------------
+
+
+class RuntimeLayerError(AdamantError):
+    """Base class for runtime-layer failures."""
+
+
+class GraphValidationError(RuntimeLayerError):
+    """A primitive graph is structurally invalid (cycles, dangling edges,
+    or I/O-semantic mismatches between producer and consumer)."""
+
+
+class ExecutionError(RuntimeLayerError):
+    """A query failed during execution."""
+
+
+class SchedulingError(RuntimeLayerError):
+    """The virtual clock was asked to schedule an inconsistent event."""
+
+
+# ---------------------------------------------------------------------------
+# Substrates
+# ---------------------------------------------------------------------------
+
+
+class StorageError(AdamantError):
+    """Base class for column-store failures."""
+
+
+class CatalogError(StorageError):
+    """A table or column lookup failed."""
+
+
+class WorkloadError(AdamantError):
+    """A workload generator was configured inconsistently."""
+
+
+class PlanError(AdamantError):
+    """A logical plan could not be built or translated."""

@@ -1,0 +1,40 @@
+"""Simulated hardware substrate: specs, cost models, and virtual time.
+
+This package replaces the paper's physical testbed (Table II).  See
+DESIGN.md section 2 for the substitution rationale.
+"""
+
+from repro.hardware.clock import Event, Stream, VirtualClock
+from repro.hardware.costmodel import CostModel, TransferDirection
+from repro.hardware.specs import (
+    ALL_GPUS,
+    CPU_I7_8700,
+    CPU_XEON_5220R,
+    FPGA_ALVEO_U250,
+    GIB,
+    GPU_A100,
+    GPU_RTX_2080_TI,
+    SETUPS,
+    DeviceKind,
+    DeviceSpec,
+    Sdk,
+)
+
+__all__ = [
+    "Event",
+    "Stream",
+    "VirtualClock",
+    "CostModel",
+    "TransferDirection",
+    "DeviceKind",
+    "DeviceSpec",
+    "Sdk",
+    "GIB",
+    "ALL_GPUS",
+    "SETUPS",
+    "GPU_RTX_2080_TI",
+    "GPU_A100",
+    "FPGA_ALVEO_U250",
+    "CPU_I7_8700",
+    "CPU_XEON_5220R",
+]

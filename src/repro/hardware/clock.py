@@ -1,0 +1,193 @@
+"""Event-driven virtual time engine.
+
+The paper's execution models differ in *which operations overlap*: chunked
+execution serializes transfer and compute, pipelined execution runs them on
+separate threads, and 4-phase execution alternates dual pinned buffers.  On
+real hardware those interactions are realized with CUDA/OpenCL streams and
+host threads; here they are realized with a deterministic event simulation.
+
+Each device exposes named :class:`Stream` objects (typically ``transfer`` and
+``compute``).  Work is scheduled as :class:`Event` objects; an event starts
+when both its stream is free *and* all its dependencies have finished.  The
+makespan of the recorded events is the simulated wall-clock time of a query.
+
+The simulation is deterministic: the same schedule of calls always yields the
+same makespan, which keeps benchmark output reproducible and lets tests
+assert exact overlap behaviour (e.g. "prefetch of chunk *c+1* overlaps
+compute of chunk *c*").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+
+__all__ = ["Event", "Stream", "VirtualClock"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """A completed piece of scheduled work on a stream.
+
+    Attributes:
+        eid: Monotonically increasing event id (schedule order).
+        stream: Name of the stream the event ran on.
+        label: Human-readable description (used in traces and tests).
+        start: Simulated start time in seconds.
+        end: Simulated end time in seconds.
+        category: Free-form grouping tag (``transfer``, ``compute``,
+            ``alloc`` ...) used by the instrumentation that reproduces
+            Figure 10 (abstraction overhead).
+        nbytes: Payload size for transfer events (0 otherwise).
+    """
+
+    eid: int
+    stream: str
+    label: str
+    start: float
+    end: float
+    category: str = "compute"
+    nbytes: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Stream:
+    """An in-order execution queue (one per device engine).
+
+    Mirrors a CUDA stream / OpenCL command queue: events issued to the same
+    stream execute back-to-back in issue order, while events on different
+    streams may overlap.
+    """
+
+    name: str
+    available_at: float = 0.0
+    events: list[Event] = field(default_factory=list)
+
+    def busy_time(self) -> float:
+        """Total time this stream spent executing events."""
+        return sum(e.duration for e in self.events)
+
+
+class VirtualClock:
+    """Deterministic scheduler for streams of timed events.
+
+    A single clock is shared by every device in an execution so that
+    cross-device dependencies (host staging, device-to-device routing)
+    are ordered on one timeline.
+    """
+
+    def __init__(self) -> None:
+        self._streams: dict[str, Stream] = {}
+        self._events: list[Event] = []
+        self._ids = itertools.count()
+
+    # -- stream management --------------------------------------------------
+
+    def stream(self, name: str) -> Stream:
+        """Return the stream called *name*, creating it on first use."""
+        if name not in self._streams:
+            self._streams[name] = Stream(name)
+        return self._streams[name]
+
+    @property
+    def streams(self) -> dict[str, Stream]:
+        return dict(self._streams)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(
+        self,
+        stream: str,
+        duration: float,
+        *,
+        label: str = "",
+        deps: list[Event] | None = None,
+        category: str = "compute",
+        nbytes: int = 0,
+        not_before: float = 0.0,
+    ) -> Event:
+        """Schedule *duration* seconds of work on *stream*.
+
+        The event starts at ``max(stream.available_at, dep ends, not_before)``
+        and occupies the stream until it finishes.  Returns the completed
+        :class:`Event`, which callers may use as a dependency for later work.
+        """
+        if duration < 0:
+            raise SchedulingError(
+                f"negative duration {duration!r} for event {label!r}"
+            )
+        s = self.stream(stream)
+        start = max(s.available_at, not_before)
+        for dep in deps or ():
+            start = max(start, dep.end)
+        event = Event(
+            eid=next(self._ids),
+            stream=stream,
+            label=label,
+            start=start,
+            end=start + duration,
+            category=category,
+            nbytes=nbytes,
+        )
+        s.available_at = event.end
+        s.events.append(event)
+        self._events.append(event)
+        return event
+
+    def barrier(self, streams: list[str] | None = None) -> float:
+        """Synchronize streams: set each stream's availability to the
+        latest availability among them (host thread join / pipeline-breaker
+        sync in the paper's Algorithm 2).  Returns the synchronized time.
+        """
+        names = streams if streams is not None else list(self._streams)
+        at = max((self.stream(n).available_at for n in names), default=0.0)
+        for n in names:
+            self.stream(n).available_at = at
+        return at
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def events(self) -> list[Event]:
+        return list(self._events)
+
+    def now(self) -> float:
+        """Latest point in time any stream has reached."""
+        return max((s.available_at for s in self._streams.values()), default=0.0)
+
+    def makespan(self) -> float:
+        """End time of the last finished event (total simulated runtime)."""
+        return max((e.end for e in self._events), default=0.0)
+
+    def busy_time(self, category: str | None = None) -> float:
+        """Sum of event durations, optionally restricted to one category."""
+        return sum(
+            e.duration
+            for e in self._events
+            if category is None or e.category == category
+        )
+
+    def events_by_category(self) -> dict[str, float]:
+        """Total busy time per category (drives the Figure 10 breakdown)."""
+        totals: dict[str, float] = {}
+        for e in self._events:
+            totals[e.category] = totals.get(e.category, 0.0) + e.duration
+        return totals
+
+    def trace(self) -> list[tuple[float, float, str, str]]:
+        """(start, end, stream, label) rows sorted by start time."""
+        return sorted(
+            (e.start, e.end, e.stream, e.label) for e in self._events
+        )
+
+    def reset(self) -> None:
+        """Forget all events and stream positions (fresh timeline)."""
+        self._streams.clear()
+        self._events.clear()
+        self._ids = itertools.count()

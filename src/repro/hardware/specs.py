@@ -1,0 +1,171 @@
+"""Hardware specifications for the simulated processor landscape.
+
+These mirror Table II of the paper (the two evaluation setups) plus the
+additional GPUs whose memory capacities appear in Figure 7 (left).  A
+:class:`DeviceSpec` captures only what the executor's behaviour depends on:
+memory capacity (chunking / OOM decisions), internal memory bandwidth
+(kernel throughput scaling), and interconnect bandwidth (transfer times).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "DeviceKind",
+    "Sdk",
+    "DeviceSpec",
+    "GPU_RTX_2080_TI",
+    "GPU_A100",
+    "GPU_GTX_970",
+    "GPU_GTX_1080",
+    "GPU_V100",
+    "FPGA_ALVEO_U250",
+    "CPU_I7_8700",
+    "CPU_XEON_5220R",
+    "ALL_GPUS",
+    "SETUPS",
+    "GIB",
+]
+
+GIB = 1024**3
+
+
+class DeviceKind(enum.Enum):
+    """Broad processor class; cost models branch on it."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    FPGA = "fpga"
+
+
+class Sdk(enum.Enum):
+    """Programming abstraction a driver is written in (Section II-B)."""
+
+    OPENCL = "opencl"
+    CUDA = "cuda"
+    OPENMP = "openmp"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one processor.
+
+    Attributes:
+        name: Marketing name (matches Table II / Figure 7).
+        kind: CPU or GPU.
+        memory_bytes: Dedicated memory capacity visible to the driver.
+            For CPUs this is the host RAM of the setup.
+        mem_bandwidth: Internal memory bandwidth in bytes/second; kernel
+            throughputs scale with it.
+        interconnect_bandwidth: Peak host<->device bandwidth in
+            bytes/second for *pinned* transfers (PCIe for GPUs, memcpy
+            bandwidth for CPU devices).
+        compute_units: SMs for GPUs / cores for CPUs; used to scale
+            compute-bound primitive throughput.
+    """
+
+    name: str
+    kind: DeviceKind
+    memory_bytes: int
+    mem_bandwidth: float
+    interconnect_bandwidth: float
+    compute_units: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+# --- GPUs (Figure 7 left uses the capacity spread; Table II uses two) ------
+
+GPU_GTX_970 = DeviceSpec(
+    name="GeForce GTX 970",
+    kind=DeviceKind.GPU,
+    memory_bytes=4 * GIB,
+    mem_bandwidth=196e9,
+    interconnect_bandwidth=12e9,
+    compute_units=13,
+)
+
+GPU_GTX_1080 = DeviceSpec(
+    name="GeForce GTX 1080",
+    kind=DeviceKind.GPU,
+    memory_bytes=8 * GIB,
+    mem_bandwidth=320e9,
+    interconnect_bandwidth=12e9,
+    compute_units=20,
+)
+
+GPU_RTX_2080_TI = DeviceSpec(
+    name="GeForce RTX 2080 Ti",
+    kind=DeviceKind.GPU,
+    memory_bytes=11 * GIB,
+    mem_bandwidth=616e9,
+    interconnect_bandwidth=12e9,  # PCIe 3.0 x16, pinned
+    compute_units=68,
+)
+
+GPU_V100 = DeviceSpec(
+    name="Tesla V100",
+    kind=DeviceKind.GPU,
+    memory_bytes=32 * GIB,
+    mem_bandwidth=900e9,
+    interconnect_bandwidth=12e9,
+    compute_units=80,
+)
+
+GPU_A100 = DeviceSpec(
+    name="Nvidia A100",
+    kind=DeviceKind.GPU,
+    memory_bytes=40 * GIB,
+    mem_bandwidth=1555e9,
+    interconnect_bandwidth=24e9,  # PCIe 4.0 x16, pinned
+    compute_units=108,
+)
+
+ALL_GPUS = [GPU_GTX_970, GPU_GTX_1080, GPU_RTX_2080_TI, GPU_V100, GPU_A100]
+
+
+# --- FPGAs (Section III-A2's integration discussion) ------------------------
+
+FPGA_ALVEO_U250 = DeviceSpec(
+    name="Xilinx Alveo U250",
+    kind=DeviceKind.FPGA,
+    memory_bytes=64 * GIB,
+    mem_bandwidth=77e9,  # 4x DDR4-2400 channels
+    interconnect_bandwidth=12e9,  # PCIe 3.0 x16, pinned
+    compute_units=4,  # super logic regions
+)
+
+
+# --- CPUs (Table II) --------------------------------------------------------
+
+CPU_I7_8700 = DeviceSpec(
+    name="Intel Core i7-8700",
+    kind=DeviceKind.CPU,
+    memory_bytes=64 * GIB,
+    mem_bandwidth=41e9,
+    interconnect_bandwidth=10e9,  # host memcpy bandwidth
+    compute_units=6,
+)
+
+CPU_XEON_5220R = DeviceSpec(
+    name="Intel Xeon Gold 5220R",
+    kind=DeviceKind.CPU,
+    memory_bytes=192 * GIB,
+    mem_bandwidth=140e9,
+    interconnect_bandwidth=16e9,
+    compute_units=24,
+)
+
+
+# --- Evaluation setups (Table II) -------------------------------------------
+
+SETUPS: dict[str, dict[str, DeviceSpec]] = {
+    "setup1": {"cpu": CPU_I7_8700, "gpu": GPU_RTX_2080_TI},
+    "setup2": {"cpu": CPU_XEON_5220R, "gpu": GPU_A100},
+}

@@ -1,0 +1,42 @@
+"""Logical plans and their translation into primitive graphs."""
+
+from repro.planner.logical import (
+    AggregateSpec,
+    Derive,
+    Derived,
+    GroupAggregate,
+    HashJoin,
+    LogicalPlan,
+    Predicate,
+    ScalarAggregate,
+    Scan,
+    Select,
+    SemiJoin,
+)
+from repro.planner.placement import (
+    PlacementReport,
+    annotate_devices,
+    estimate_pipeline_seconds,
+)
+from repro.planner.stats import conjunction_selectivity, estimate_selectivity
+from repro.planner.translate import translate
+
+__all__ = [
+    "translate",
+    "annotate_devices",
+    "estimate_pipeline_seconds",
+    "PlacementReport",
+    "estimate_selectivity",
+    "conjunction_selectivity",
+    "LogicalPlan",
+    "Scan",
+    "Select",
+    "Derive",
+    "Derived",
+    "Predicate",
+    "ScalarAggregate",
+    "GroupAggregate",
+    "AggregateSpec",
+    "HashJoin",
+    "SemiJoin",
+]

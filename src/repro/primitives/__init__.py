@@ -1,0 +1,37 @@
+"""Task-layer primitives: definitions (Table I), value types, kernels."""
+
+from repro.primitives import kernels
+from repro.primitives.definitions import (
+    PRIMITIVES,
+    PrimitiveDefinition,
+    definition,
+    register_primitive,
+)
+from repro.primitives.values import (
+    Bitmap,
+    GroupTable,
+    HashTable,
+    IOSemantic,
+    JoinPairs,
+    PositionList,
+    PrefixSum,
+    semantic_of,
+    value_nbytes,
+)
+
+__all__ = [
+    "kernels",
+    "PRIMITIVES",
+    "PrimitiveDefinition",
+    "definition",
+    "register_primitive",
+    "IOSemantic",
+    "Bitmap",
+    "PositionList",
+    "PrefixSum",
+    "HashTable",
+    "GroupTable",
+    "JoinPairs",
+    "semantic_of",
+    "value_nbytes",
+]

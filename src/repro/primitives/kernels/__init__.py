@@ -1,0 +1,54 @@
+"""Reference (numpy) kernel implementations for every Table I primitive."""
+
+from repro.primitives.kernels.filter import (
+    COMPARATORS,
+    bitmap_and,
+    bitmap_or,
+    filter_bitmap,
+    filter_position,
+)
+from repro.primitives.kernels.hash_ops import (
+    gather_payload,
+    group_keys,
+    group_values,
+    hash_agg,
+    hash_build,
+    hash_probe,
+    join_side,
+    merge_hash_tables,
+)
+from repro.primitives.kernels.map_ops import MAP_OPS, map_kernel, register_map_op
+from repro.primitives.kernels.materialize import materialize, materialize_position
+from repro.primitives.kernels.prefix import prefix_sum
+from repro.primitives.kernels.reduce import AGG_FUNCTIONS, agg_block, merge_partials
+from repro.primitives.kernels.sort import group_prefix, sort_positions
+from repro.primitives.kernels.sort_agg import boundary_prefix_sum, sort_agg
+
+__all__ = [
+    "COMPARATORS",
+    "MAP_OPS",
+    "AGG_FUNCTIONS",
+    "map_kernel",
+    "register_map_op",
+    "filter_bitmap",
+    "filter_position",
+    "bitmap_and",
+    "bitmap_or",
+    "materialize",
+    "materialize_position",
+    "agg_block",
+    "merge_partials",
+    "hash_build",
+    "hash_probe",
+    "hash_agg",
+    "join_side",
+    "gather_payload",
+    "group_keys",
+    "group_values",
+    "merge_hash_tables",
+    "prefix_sum",
+    "boundary_prefix_sum",
+    "sort_agg",
+    "sort_positions",
+    "group_prefix",
+]

@@ -1,0 +1,79 @@
+"""FILTER primitives: predicate evaluation into bitmap or position list.
+
+``FILTER_BITMAP`` and ``FILTER_POSITION`` of Table I.  The predicate
+compares the input column against a constant (``cmp`` + ``value``) or
+against a constant range (``lo``/``hi``, both inclusive), matching the
+between-predicates of Q6.  Conjunctions over several columns are expressed
+in plans as successive filters combined with ``bitmap_and``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignatureError
+from repro.primitives.values import Bitmap, PositionList
+
+__all__ = ["filter_bitmap", "filter_position", "bitmap_and", "bitmap_or",
+           "COMPARATORS"]
+
+COMPARATORS = {
+    "lt": np.less,
+    "le": np.less_equal,
+    "gt": np.greater,
+    "ge": np.greater_equal,
+    "eq": np.equal,
+    "ne": np.not_equal,
+}
+
+
+def _mask(in1: np.ndarray, cmp: str | None, value, lo, hi) -> np.ndarray:
+    if cmp is not None:
+        if value is None:
+            raise SignatureError(f"comparator {cmp!r} needs a value")
+        try:
+            fn = COMPARATORS[cmp]
+        except KeyError:
+            raise SignatureError(
+                f"unknown comparator {cmp!r}; known: {sorted(COMPARATORS)}"
+            ) from None
+        return fn(in1, value)
+    if lo is None and hi is None:
+        raise SignatureError("filter needs cmp+value or lo/hi bounds")
+    mask = np.ones(in1.shape, dtype=bool)
+    if lo is not None:
+        mask &= in1 >= lo
+    if hi is not None:
+        mask &= in1 <= hi
+    return mask
+
+
+def filter_bitmap(in1: np.ndarray, *, cmp: str | None = None, value=None,
+                  lo=None, hi=None) -> Bitmap:
+    """``FILTER_BITMAP``: evaluate the predicate, emit a packed bitmap."""
+    return Bitmap.from_mask(_mask(in1, cmp, value, lo, hi))
+
+
+def filter_position(in1: np.ndarray, *, cmp: str | None = None, value=None,
+                    lo=None, hi=None) -> PositionList:
+    """``FILTER_POSITION``: evaluate the predicate, emit selected indices."""
+    return PositionList(np.nonzero(_mask(in1, cmp, value, lo, hi))[0])
+
+
+def bitmap_and(in1: Bitmap, in2: Bitmap) -> Bitmap:
+    """Conjunction of two bitmaps over the same input length."""
+    if in1.length != in2.length:
+        raise SignatureError(
+            f"bitmap lengths disagree: {in1.length} vs {in2.length}"
+        )
+    return Bitmap(words=in1.words & in2.words, length=in1.length)
+
+
+def bitmap_or(in1: Bitmap, in2: Bitmap) -> Bitmap:
+    """Disjunction of two bitmaps (IN-list predicates, e.g. Q12's
+    ``l_shipmode in ('MAIL', 'SHIP')``)."""
+    if in1.length != in2.length:
+        raise SignatureError(
+            f"bitmap lengths disagree: {in1.length} vs {in2.length}"
+        )
+    return Bitmap(words=in1.words | in2.words, length=in1.length)

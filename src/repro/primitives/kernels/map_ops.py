@@ -1,0 +1,88 @@
+"""MAP primitive: one-to-one arithmetic over one or two input columns.
+
+``MAP(NUMERIC in[n], NUMERIC out[n])`` in Table I.  The concrete arithmetic
+is selected by the ``op`` parameter, mirroring how the paper's prototype
+compiles one map kernel per expression.  New expressions can be registered
+by plug-ins via :func:`register_map_op`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import SignatureError
+
+__all__ = ["map_kernel", "register_map_op", "MAP_OPS"]
+
+# op name -> callable(a, b_or_None, const) -> array
+MAP_OPS: dict[str, Callable[..., np.ndarray]] = {}
+
+
+def register_map_op(name: str, fn: Callable[..., np.ndarray]) -> None:
+    """Register an arithmetic expression usable as ``MAP(op=name)``."""
+    MAP_OPS[name] = fn
+
+
+def _binary(fn: Callable[[np.ndarray, np.ndarray], np.ndarray]):
+    def wrapped(a: np.ndarray, b: np.ndarray | None, const) -> np.ndarray:
+        if b is None:
+            raise SignatureError("binary map op requires two inputs")
+        return fn(a.astype(np.int64, copy=False), b.astype(np.int64, copy=False))
+    return wrapped
+
+
+def _unary(fn: Callable[[np.ndarray, object], np.ndarray]):
+    def wrapped(a: np.ndarray, b: np.ndarray | None, const) -> np.ndarray:
+        return fn(a.astype(np.int64, copy=False), const)
+    return wrapped
+
+
+register_map_op("add", _binary(lambda a, b: a + b))
+register_map_op("sub", _binary(lambda a, b: a - b))
+register_map_op("mul", _binary(lambda a, b: a * b))
+# revenue expressions of Q1/Q3/Q6 with hundredths-encoded rates:
+#   a * (1 - discount)  ->  a * (100 - d)
+#   a * (1 + tax)       ->  a * (100 + t)
+register_map_op("disc_price", _binary(lambda a, b: a * (100 - b)))
+register_map_op("tax_price", _binary(lambda a, b: a * (100 + b)))
+# group-key combination for multi-attribute group-bys (Q1): a * K + b
+register_map_op(
+    "combine_keys",
+    lambda a, b, const: a.astype(np.int64) * int(const) + b.astype(np.int64),
+)
+# 0/1 indicator for an inclusive range (Q12's priority class, Q14's
+# PROMO part-type band): const = (lo, hi).
+register_map_op(
+    "between",
+    lambda a, b, const: (
+        (a >= int(const[0])) & (a <= int(const[1]))
+    ).astype(np.int64),
+)
+register_map_op("add_const", _unary(lambda a, c: a + int(c)))
+register_map_op("mul_const", _unary(lambda a, c: a * int(c)))
+register_map_op("identity", _unary(lambda a, c: a.copy()))
+
+
+def map_kernel(in1: np.ndarray, in2: np.ndarray | None = None, *,
+               op: str, const: object = None) -> np.ndarray:
+    """Apply the registered expression *op* element-wise.
+
+    Args:
+        in1: First input column.
+        in2: Second input column for binary expressions (same length).
+        op: Registered expression name.
+        const: Constant operand for parameterized expressions.
+    """
+    try:
+        fn = MAP_OPS[op]
+    except KeyError:
+        raise SignatureError(
+            f"unknown map op {op!r}; registered: {sorted(MAP_OPS)}"
+        ) from None
+    if in2 is not None and in1.shape != in2.shape:
+        raise SignatureError(
+            f"map inputs disagree in length: {in1.shape} vs {in2.shape}"
+        )
+    return fn(in1, in2, const)

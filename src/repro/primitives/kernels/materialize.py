@@ -1,0 +1,36 @@
+"""MATERIALIZE primitives (Table I): gather column values by selection.
+
+``MATERIALIZE`` consumes a bitmap (late materialization after
+FILTER_BITMAP); ``MATERIALIZE_POSITION`` consumes a position list.  On GPUs
+the bitmap variant is the expensive one — threads cooperatively extract
+bits from shared words — which the cost model charges accordingly
+(Section V-A, Figure 9 a/b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignatureError
+from repro.primitives.values import Bitmap, PositionList
+
+__all__ = ["materialize", "materialize_position"]
+
+
+def materialize(in1: np.ndarray, bitmap: Bitmap) -> np.ndarray:
+    """Gather the rows of *in1* whose bitmap bit is set."""
+    if bitmap.length != in1.shape[0]:
+        raise SignatureError(
+            f"bitmap covers {bitmap.length} rows, column has {in1.shape[0]}"
+        )
+    return in1[bitmap.to_mask()]
+
+
+def materialize_position(in1: np.ndarray, positions: PositionList) -> np.ndarray:
+    """Gather the rows of *in1* at *positions*."""
+    if len(positions) and int(positions.positions.max()) >= in1.shape[0]:
+        raise SignatureError(
+            f"position {int(positions.positions.max())} out of range for "
+            f"column of {in1.shape[0]} rows"
+        )
+    return in1[positions.positions]

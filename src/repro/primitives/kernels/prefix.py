@@ -1,0 +1,21 @@
+"""PREFIX_SUM primitive (Table I) — a pipeline breaker.
+
+Computes the inclusive prefix sum of its input.  Typical uses in the paper:
+over a 0/1 selection vector to compute output offsets for compaction, and
+over sorted group boundaries to drive SORT_AGG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.primitives.values import Bitmap, PrefixSum
+
+__all__ = ["prefix_sum"]
+
+
+def prefix_sum(in1: np.ndarray | Bitmap) -> PrefixSum:
+    """Inclusive prefix sum of *in1* (a NUMERIC column or a bitmap)."""
+    if isinstance(in1, Bitmap):
+        in1 = in1.to_mask().astype(np.int64)
+    return PrefixSum(np.cumsum(in1.astype(np.int64, copy=False)))

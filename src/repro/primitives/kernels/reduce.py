@@ -1,0 +1,46 @@
+"""AGG_BLOCK primitive: block-wide reduction into a single value.
+
+``AGG_BLOCK(NUMERIC in[n], NUMERIC out)`` of Table I — a pipeline breaker.
+The result is a length-1 array so it stays a NUMERIC edge value; chunked
+execution merges per-chunk partials with the same function (sum/min/max/
+count are all decomposable reductions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignatureError
+
+__all__ = ["agg_block", "merge_partials", "AGG_FUNCTIONS"]
+
+AGG_FUNCTIONS = ("sum", "count", "min", "max")
+
+
+def agg_block(in1: np.ndarray, *, fn: str = "sum") -> np.ndarray:
+    """Reduce *in1* with *fn*; returns a one-element int64 array."""
+    if fn not in AGG_FUNCTIONS:
+        raise SignatureError(
+            f"unknown aggregate {fn!r}; known: {AGG_FUNCTIONS}"
+        )
+    if fn == "count":
+        value = in1.shape[0]
+    elif in1.shape[0] == 0:
+        # Empty chunks contribute the reduction identity.
+        value = {"sum": 0, "min": np.iinfo(np.int64).max,
+                 "max": np.iinfo(np.int64).min}[fn]
+    elif fn == "sum":
+        value = in1.astype(np.int64, copy=False).sum()
+    elif fn == "min":
+        value = in1.min()
+    else:
+        value = in1.max()
+    return np.array([value], dtype=np.int64)
+
+
+def merge_partials(partials: list[np.ndarray], *, fn: str = "sum") -> np.ndarray:
+    """Combine per-chunk AGG_BLOCK results into the final value."""
+    stacked = np.concatenate(partials) if partials else np.zeros(1, np.int64)
+    # COUNT partials are already counts; they combine by summation.
+    merged_fn = "sum" if fn == "count" else fn
+    return agg_block(stacked, fn=merged_fn)

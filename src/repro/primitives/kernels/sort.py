@@ -1,0 +1,35 @@
+"""SORT primitives: the sort-based aggregation path's missing piece.
+
+Table I's SORT_AGG consumes *sorted* input with a group-boundary prefix
+sum; producing that order is a full-input operation.  Two primitives:
+
+* ``sort_positions`` — the stable sort permutation of a key column as a
+  POSITION list (apply it to any co-table column with
+  MATERIALIZE_POSITION);
+* ``group_prefix`` — the group-index prefix sum of an already-sorted key
+  column (wraps :func:`~repro.primitives.kernels.sort_agg.boundary_prefix_sum`
+  as a graph primitive).
+
+Both require the complete input, so plans containing them run under
+operator-at-a-time (the runtime rejects multi-chunk execution; see
+``PrimitiveDefinition.requires_full_input``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.primitives.kernels.sort_agg import boundary_prefix_sum
+from repro.primitives.values import PositionList, PrefixSum
+
+__all__ = ["sort_positions", "group_prefix"]
+
+
+def sort_positions(keys: np.ndarray) -> PositionList:
+    """Stable-sort permutation of *keys* (ascending)."""
+    return PositionList(np.argsort(keys, kind="stable"))
+
+
+def group_prefix(sorted_keys: np.ndarray) -> PrefixSum:
+    """Group-index prefix sum over an already-sorted key column."""
+    return boundary_prefix_sum(sorted_keys)

@@ -1,0 +1,72 @@
+"""SORT_AGG primitive (Table I) — grouped aggregation over sorted input.
+
+``SORT_AGG(NUMERIC in[n], PREFIX_SUM pxsum[n], NUMERIC aggregates[m])``:
+the input value column is already ordered by group; the prefix sum marks
+group boundaries (it increments exactly where a new group starts), so the
+aggregation is a segmented reduction — the sort-based alternative to
+HASH_AGG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignatureError
+from repro.primitives.values import GroupTable, PrefixSum
+
+__all__ = ["sort_agg", "boundary_prefix_sum"]
+
+
+def boundary_prefix_sum(sorted_keys: np.ndarray) -> PrefixSum:
+    """Prefix sum of group-start markers for a sorted key column.
+
+    Entry *i* is the 1-based index of the group row *i* belongs to; the
+    last entry equals the number of groups.
+    """
+    if len(sorted_keys) == 0:
+        return PrefixSum(np.empty(0, dtype=np.int64))
+    starts = np.empty(len(sorted_keys), dtype=np.int64)
+    starts[0] = 1
+    starts[1:] = (sorted_keys[1:] != sorted_keys[:-1]).astype(np.int64)
+    return PrefixSum(np.cumsum(starts))
+
+
+def sort_agg(values: np.ndarray, pxsum: PrefixSum, *,
+             keys: np.ndarray | None = None, fn: str = "sum") -> GroupTable:
+    """Segmented reduction of *values* into per-group aggregates.
+
+    Args:
+        values: Value column ordered by group.
+        pxsum: Group-index prefix sum from :func:`boundary_prefix_sum`.
+        keys: Optional sorted key column; when given, group keys are the
+            distinct key values, otherwise the dense group indices 0..m-1.
+        fn: ``sum`` | ``count`` | ``min`` | ``max``.
+    """
+    if len(pxsum.sums) != len(values):
+        raise SignatureError(
+            f"prefix sum length {len(pxsum.sums)} != values {len(values)}"
+        )
+    if len(values) == 0:
+        return GroupTable(keys=np.empty(0, dtype=np.int64), aggregates={fn: np.empty(0, dtype=np.int64)})
+    group_idx = pxsum.sums - 1  # dense 0-based group index per row
+    m = int(pxsum.total)
+    vals = values.astype(np.int64, copy=False)
+    if fn == "sum":
+        out = np.zeros(m, dtype=np.int64)
+        np.add.at(out, group_idx, vals)
+    elif fn == "count":
+        out = np.bincount(group_idx, minlength=m).astype(np.int64)
+    elif fn == "min":
+        out = np.full(m, np.iinfo(np.int64).max, dtype=np.int64)
+        np.minimum.at(out, group_idx, vals)
+    elif fn == "max":
+        out = np.full(m, np.iinfo(np.int64).min, dtype=np.int64)
+        np.maximum.at(out, group_idx, vals)
+    else:
+        raise SignatureError(f"unknown aggregate {fn!r}")
+    if keys is not None:
+        starts = np.searchsorted(group_idx, np.arange(m))
+        group_keys = keys[starts].astype(np.int64, copy=False)
+    else:
+        group_keys = np.arange(m, dtype=np.int64)
+    return GroupTable(keys=group_keys, aggregates={fn: out})

@@ -1,0 +1,272 @@
+"""Runtime value types flowing along primitive-graph edges.
+
+Section III-B3 of the paper defines I/O *semantics* so that a downstream
+primitive knows how to interpret an upstream result (a filter may emit a
+bitmap or a position list; a hash build emits a hash table).  This module
+provides the concrete carriers for those semantics:
+
+========  =====================================
+semantic  carrier
+========  =====================================
+NUMERIC   :class:`numpy.ndarray` (1-D)
+BITMAP    :class:`Bitmap` (bit-packed words)
+POSITION  :class:`PositionList`
+PREFIX    :class:`PrefixSum`
+HASH      :class:`HashTable` / :class:`GroupTable`
+GENERIC   anything with an ``nbytes`` attribute
+========  =====================================
+
+Every carrier exposes ``nbytes`` so the device memory manager can account
+for it, mirroring how the paper's runtime estimates result-buffer sizes in
+``prepare_output_buffer()``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "IOSemantic",
+    "Bitmap",
+    "PositionList",
+    "PrefixSum",
+    "HashTable",
+    "GroupTable",
+    "JoinPairs",
+    "value_nbytes",
+    "semantic_of",
+]
+
+
+class IOSemantic(enum.Enum):
+    """The paper's data-edge semantics (Section III-B3)."""
+
+    NUMERIC = "numeric"
+    BITMAP = "bitmap"
+    POSITION = "position"
+    PREFIX_SUM = "prefix_sum"
+    HASH_TABLE = "hash_table"
+    GENERIC = "generic"
+
+
+@dataclass
+class Bitmap:
+    """A bit-packed selection vector over *length* input rows.
+
+    Bits are packed little-endian into ``uint32`` words: row *i* is selected
+    iff ``words[i // 32] >> (i % 32) & 1``.  Packing is what creates the
+    GPU materialization penalty the paper measures (threads cooperatively
+    extract bits from shared words, Section V-A).
+    """
+
+    words: np.ndarray
+    length: int
+
+    @classmethod
+    def from_mask(cls, mask: np.ndarray) -> "Bitmap":
+        """Pack a boolean mask."""
+        mask = np.asarray(mask, dtype=bool)
+        bits = np.packbits(mask, bitorder="little")
+        pad = (-len(bits)) % 4
+        if pad:
+            bits = np.concatenate([bits, np.zeros(pad, dtype=np.uint8)])
+        return cls(words=bits.view(np.uint32), length=int(mask.shape[0]))
+
+    def to_mask(self) -> np.ndarray:
+        """Unpack back into a boolean mask of ``length`` entries."""
+        bits = np.unpackbits(self.words.view(np.uint8), bitorder="little")
+        return bits[: self.length].astype(bool)
+
+    def count(self) -> int:
+        """Number of selected rows (population count)."""
+        return int(np.bitwise_count(self.words).sum())
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.words.nbytes)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Bitmap)
+            and self.length == other.length
+            and np.array_equal(self.to_mask(), other.to_mask())
+        )
+
+
+@dataclass
+class PositionList:
+    """Indices of selected rows, in ascending order."""
+
+    positions: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.positions = np.asarray(self.positions, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return int(self.positions.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.positions.nbytes)
+
+
+@dataclass
+class PrefixSum:
+    """Inclusive prefix sum (used with SORT_AGG and bitmap compaction)."""
+
+    sums: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.sums = np.asarray(self.sums, dtype=np.int64)
+
+    @property
+    def total(self) -> int:
+        return int(self.sums[-1]) if len(self.sums) else 0
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.sums.nbytes)
+
+
+@dataclass
+class HashTable:
+    """A join hash table built by HASH_BUILD (linear probing in the paper).
+
+    Stored in a probe-friendly sorted layout: ``keys`` sorted ascending,
+    ``positions[offsets[i]:offsets[i+1]]`` are the build-side row numbers
+    whose key equals ``keys[i]``.  Semantically identical to the paper's
+    linear-probing table; the layout difference is invisible through the
+    HASH_PROBE interface.
+    """
+
+    keys: np.ndarray
+    offsets: np.ndarray
+    positions: np.ndarray
+    payload: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def num_keys(self) -> int:
+        return int(self.keys.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        n = int(self.keys.nbytes + self.offsets.nbytes + self.positions.nbytes)
+        n += sum(int(v.nbytes) for v in self.payload.values())
+        return n
+
+    def lookup_payload(self, key: int, name: str) -> int:
+        """Payload value *name* of the first build row matching *key*.
+
+        Raises ``KeyError`` when the key is absent or the payload column
+        was not carried into the table.
+        """
+        idx = int(np.searchsorted(self.keys, key))
+        if idx >= self.num_keys or int(self.keys[idx]) != int(key):
+            raise KeyError(f"key {key!r} not in hash table")
+        column = self.payload[name]
+        return int(column[int(self.offsets[idx])])
+
+
+@dataclass
+class GroupTable:
+    """Grouped aggregates produced by HASH_AGG / SORT_AGG.
+
+    ``keys[i]`` is a group key; ``aggregates[name][i]`` its aggregate.
+    """
+
+    keys: np.ndarray
+    aggregates: dict[str, np.ndarray]
+
+    @property
+    def num_groups(self) -> int:
+        return int(self.keys.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.keys.nbytes) + sum(
+            int(v.nbytes) for v in self.aggregates.values()
+        )
+
+    def merge(self, other: "GroupTable", *, how: dict[str, str]) -> "GroupTable":
+        """Merge two partial group tables (chunked execution combines the
+        per-chunk tables of a pipeline breaker).
+
+        Args:
+            how: aggregate name -> "sum" | "min" | "max" (count merges as
+                sum).
+        """
+        all_keys = np.concatenate([self.keys, other.keys])
+        keys, inverse = np.unique(all_keys, return_inverse=True)
+        merged: dict[str, np.ndarray] = {}
+        for name, mine in self.aggregates.items():
+            theirs = other.aggregates[name]
+            stacked = np.concatenate([mine, theirs])
+            kind = how.get(name, "sum")
+            if kind == "sum":
+                out = np.zeros(len(keys), dtype=stacked.dtype)
+                np.add.at(out, inverse, stacked)
+            elif kind == "min":
+                out = np.full(len(keys), np.iinfo(stacked.dtype).max,
+                              dtype=stacked.dtype)
+                np.minimum.at(out, inverse, stacked)
+            elif kind == "max":
+                out = np.full(len(keys), np.iinfo(stacked.dtype).min,
+                              dtype=stacked.dtype)
+                np.maximum.at(out, inverse, stacked)
+            else:
+                raise ValueError(f"unknown merge kind {kind!r} for {name!r}")
+            merged[name] = out
+        return GroupTable(keys=keys, aggregates=merged)
+
+
+@dataclass
+class JoinPairs:
+    """Matching (left, right) row positions returned by HASH_PROBE."""
+
+    left: np.ndarray
+    right: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.left = np.asarray(self.left, dtype=np.int64)
+        self.right = np.asarray(self.right, dtype=np.int64)
+        if self.left.shape != self.right.shape:
+            raise ValueError("join sides must pair up 1:1")
+
+    def __len__(self) -> int:
+        return int(self.left.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.left.nbytes + self.right.nbytes)
+
+
+def value_nbytes(value: object) -> int:
+    """Memory footprint of any edge value (for device accounting)."""
+    if value is None:
+        return 0
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (int, float)):
+        return 8
+    nbytes = getattr(value, "nbytes", None)
+    if nbytes is None:
+        raise TypeError(f"cannot size value of type {type(value).__name__}")
+    return int(nbytes)
+
+
+def semantic_of(value: object) -> IOSemantic:
+    """Infer the I/O semantic carried by *value*."""
+    if isinstance(value, np.ndarray):
+        return IOSemantic.NUMERIC
+    if isinstance(value, Bitmap):
+        return IOSemantic.BITMAP
+    if isinstance(value, PositionList):
+        return IOSemantic.POSITION
+    if isinstance(value, PrefixSum):
+        return IOSemantic.PREFIX_SUM
+    if isinstance(value, (HashTable, GroupTable)):
+        return IOSemantic.HASH_TABLE
+    return IOSemantic.GENERIC

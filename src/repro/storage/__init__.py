@@ -1,0 +1,17 @@
+"""In-memory column store substrate (columns, tables, catalog)."""
+
+from repro.storage.catalog import Catalog
+from repro.storage.column import Column, DictionaryColumn, date_to_int, int_to_date
+from repro.storage.io import load_catalog, save_catalog
+from repro.storage.table import Table
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "DictionaryColumn",
+    "Table",
+    "date_to_int",
+    "int_to_date",
+    "save_catalog",
+    "load_catalog",
+]

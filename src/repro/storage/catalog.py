@@ -1,0 +1,53 @@
+"""Catalog: a named registry of tables, the executor's data source."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError
+from repro.storage.column import Column
+from repro.storage.table import Table
+
+__all__ = ["Catalog"]
+
+
+@dataclass
+class Catalog:
+    """A database instance: a set of tables addressable by name.
+
+    The runtime's ``load_data`` resolves ``table.column`` references
+    against a catalog, so everything the executor touches flows through
+    here.
+    """
+
+    tables: dict[str, Table] = field(default_factory=dict)
+
+    def add(self, table: Table) -> None:
+        """Register *table*; replaces any previous table of the same name."""
+        self.tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise CatalogError(
+                f"no table {name!r}; available: {sorted(self.tables)}"
+            ) from None
+
+    def column(self, ref: str) -> Column:
+        """Resolve a ``table.column`` reference."""
+        table_name, _, column_name = ref.partition(".")
+        if not column_name:
+            raise CatalogError(
+                f"column reference {ref!r} must look like 'table.column'"
+            )
+        return self.table(table_name).column(column_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload of every table (the 'complete dataset' bars of
+        Figure 7 left)."""
+        return sum(t.nbytes for t in self.tables.values())

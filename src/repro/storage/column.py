@@ -1,0 +1,114 @@
+"""Typed columns for the in-memory column store.
+
+ADAMANT's primitives consume NUMERIC arrays (Table I), so string attributes
+are stored dictionary-encoded: the column holds integer codes plus a lookup
+dictionary.  Dates are stored as integer days since 1970-01-01, matching how
+column stores (and the paper's C++ prototype) feed date predicates to filter
+kernels as plain integer comparisons.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import StorageError
+
+__all__ = ["Column", "DictionaryColumn", "date_to_int", "int_to_date"]
+
+_EPOCH = datetime.date(1970, 1, 1)
+
+
+def date_to_int(value: str | datetime.date) -> int:
+    """Encode a date (or ISO ``YYYY-MM-DD`` string) as days since epoch."""
+    if isinstance(value, str):
+        value = datetime.date.fromisoformat(value)
+    return (value - _EPOCH).days
+
+
+def int_to_date(days: int) -> datetime.date:
+    """Decode days-since-epoch back into a date."""
+    return _EPOCH + datetime.timedelta(days=int(days))
+
+
+@dataclass
+class Column:
+    """A named, typed, immutable vector of values.
+
+    Attributes:
+        name: Column name (unique within its table).
+        values: The backing numpy array.  Never mutated after construction.
+    """
+
+    name: str
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.values)
+        if arr.ndim != 1:
+            raise StorageError(
+                f"column {self.name!r} must be 1-D, got shape {arr.shape}"
+            )
+        self.values = arr
+        self.values.setflags(write=False)
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.values.dtype
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the column payload in bytes."""
+        return int(self.values.nbytes)
+
+    def slice(self, start: int, stop: int) -> np.ndarray:
+        """A zero-copy view of rows ``[start, stop)``."""
+        return self.values[start:stop]
+
+    def take(self, positions: np.ndarray) -> np.ndarray:
+        """Gather rows by position (materialization by position list)."""
+        return self.values[positions]
+
+
+@dataclass
+class DictionaryColumn(Column):
+    """A string column stored as integer codes plus a decode dictionary.
+
+    ``values`` holds ``int32`` codes; ``dictionary[code]`` is the original
+    string.  Predicates on such columns are translated to predicates on the
+    codes (the dictionary is sorted, so range predicates stay valid).
+    """
+
+    dictionary: list[str] = field(default_factory=list)
+
+    @classmethod
+    def from_strings(cls, name: str, strings: list[str] | np.ndarray
+                     ) -> "DictionaryColumn":
+        """Build a dictionary column, assigning codes in sorted value order."""
+        uniques = sorted(set(map(str, strings)))
+        code_of = {s: i for i, s in enumerate(uniques)}
+        codes = np.fromiter(
+            (code_of[str(s)] for s in strings), dtype=np.int32,
+            count=len(strings),
+        )
+        return cls(name=name, values=codes, dictionary=uniques)
+
+    def code_for(self, value: str) -> int:
+        """The integer code of *value*; raises if absent."""
+        try:
+            return self.dictionary.index(value)
+        except ValueError:
+            raise StorageError(
+                f"value {value!r} not in dictionary of column {self.name!r}"
+            ) from None
+
+    def decode(self, codes: np.ndarray | None = None) -> list[str]:
+        """Decode *codes* (default: the whole column) back to strings."""
+        if codes is None:
+            codes = self.values
+        return [self.dictionary[int(c)] for c in codes]

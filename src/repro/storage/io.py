@@ -1,0 +1,85 @@
+"""Catalog persistence: save/load a database instance as one ``.npz``.
+
+Generating TPC-H data is fast but not free; persisting a generated
+catalog lets benchmark sessions and notebooks reload identical data
+instantly.  The format is a single compressed numpy archive: one array
+per column named ``<table>/<column>``, plus a JSON metadata entry
+recording table order, column order and dictionary contents (so
+:class:`~repro.storage.column.DictionaryColumn` round-trips exactly).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.catalog import Catalog
+from repro.storage.column import Column, DictionaryColumn
+from repro.storage.table import Table
+
+__all__ = ["save_catalog", "load_catalog"]
+
+_META_KEY = "__catalog_meta__"
+_FORMAT_VERSION = 1
+
+
+def save_catalog(catalog: Catalog, path: str | pathlib.Path) -> None:
+    """Write *catalog* to *path* (``.npz`` appended if missing)."""
+    arrays: dict[str, np.ndarray] = {}
+    meta: dict = {"version": _FORMAT_VERSION, "tables": []}
+    for table_name in sorted(catalog.tables):
+        table = catalog.tables[table_name]
+        columns_meta = []
+        for column in table.columns:
+            key = f"{table.name}/{column.name}"
+            arrays[key] = np.asarray(column.values)
+            entry: dict = {"name": column.name}
+            if isinstance(column, DictionaryColumn):
+                entry["dictionary"] = column.dictionary
+            columns_meta.append(entry)
+        meta["tables"].append({"name": table.name, "columns": columns_meta})
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8,
+    )
+    np.savez_compressed(str(path), **arrays)
+
+
+def load_catalog(path: str | pathlib.Path) -> Catalog:
+    """Load a catalog previously written by :func:`save_catalog`."""
+    path = pathlib.Path(str(path))
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(str(path), allow_pickle=False) as archive:
+        if _META_KEY not in archive:
+            raise StorageError(
+                f"{path} is not a catalog archive (missing metadata)"
+            )
+        meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+        if meta.get("version") != _FORMAT_VERSION:
+            raise StorageError(
+                f"unsupported catalog format version {meta.get('version')!r}"
+            )
+        catalog = Catalog()
+        for table_meta in meta["tables"]:
+            columns: list[Column] = []
+            for column_meta in table_meta["columns"]:
+                key = f"{table_meta['name']}/{column_meta['name']}"
+                try:
+                    values = archive[key]
+                except KeyError:
+                    raise StorageError(
+                        f"catalog archive {path} is missing array {key!r}"
+                    ) from None
+                if "dictionary" in column_meta:
+                    columns.append(DictionaryColumn(
+                        name=column_meta["name"], values=values,
+                        dictionary=list(column_meta["dictionary"]),
+                    ))
+                else:
+                    columns.append(Column(name=column_meta["name"],
+                                          values=values))
+            catalog.add(Table(table_meta["name"], columns))
+    return catalog

@@ -1,0 +1,13 @@
+"""Task layer: kernel/data containers and the variant registry."""
+
+from repro.task.containers import DataContainer, ImplementationKind, KernelContainer
+from repro.task.registry import REFERENCE_VARIANT, TaskRegistry, default_registry
+
+__all__ = [
+    "DataContainer",
+    "KernelContainer",
+    "ImplementationKind",
+    "TaskRegistry",
+    "default_registry",
+    "REFERENCE_VARIANT",
+]

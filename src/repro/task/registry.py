@@ -1,0 +1,126 @@
+"""Kernel variant registry — the task layer's plug-in point.
+
+Maps ``(primitive, variant)`` to a :class:`~repro.task.containers.KernelContainer`.
+Drivers ask for their own variant first (``variant = sdk name``) and fall
+back to the ``"reference"`` implementation, so a plugged-in device works out
+of the box and can be specialized kernel-by-kernel — exactly the "freely
+couple any SDK with its operator implementation" property of Section III-B.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NoImplementationError, SignatureError, UnknownPrimitiveError
+from repro.primitives import kernels
+from repro.primitives.definitions import PRIMITIVES
+from repro.task.containers import ImplementationKind, KernelContainer
+
+__all__ = ["TaskRegistry", "default_registry", "REFERENCE_VARIANT"]
+
+REFERENCE_VARIANT = "reference"
+
+
+class TaskRegistry:
+    """Registry of kernel implementations keyed by (primitive, variant)."""
+
+    def __init__(self) -> None:
+        self._kernels: dict[tuple[str, str], KernelContainer] = {}
+
+    def register(self, container: KernelContainer, *, replace: bool = False
+                 ) -> None:
+        """Register *container* under its (primitive, variant) key.
+
+        Raises :class:`SignatureError` if the primitive is unknown — a
+        kernel must adhere to a registered primitive definition to be
+        pluggable — or if the key is already taken and *replace* is false.
+        """
+        if container.primitive not in PRIMITIVES:
+            raise UnknownPrimitiveError(
+                f"kernel {container.variant!r} implements unregistered "
+                f"primitive {container.primitive!r}"
+            )
+        if not callable(container.fn):
+            raise SignatureError(
+                f"kernel for {container.primitive!r} is not callable"
+            )
+        key = (container.primitive, container.variant)
+        if key in self._kernels and not replace:
+            raise SignatureError(
+                f"kernel already registered for {key}; pass replace=True"
+            )
+        self._kernels[key] = container
+
+    def resolve(self, primitive: str, variant: str) -> KernelContainer:
+        """The kernel for (primitive, variant), falling back to reference."""
+        for key in ((primitive, variant), (primitive, REFERENCE_VARIANT)):
+            if key in self._kernels:
+                return self._kernels[key]
+        raise NoImplementationError(
+            f"no implementation of {primitive!r} for variant {variant!r} "
+            f"and no reference fallback"
+        )
+
+    def variants(self, primitive: str) -> list[str]:
+        """All registered variant keys for *primitive*."""
+        return sorted(v for p, v in self._kernels if p == primitive)
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._kernels
+
+
+def _reference_kernels() -> list[KernelContainer]:
+    ref = REFERENCE_VARIANT
+    lib = ImplementationKind.LIBRARY
+    return [
+        KernelContainer("map", ref, kernels.map_kernel, kind=lib, num_args=3),
+        KernelContainer("filter_bitmap", ref, kernels.filter_bitmap,
+                        kind=lib, num_args=2),
+        KernelContainer("filter_position", ref, kernels.filter_position,
+                        kind=lib, num_args=2),
+        KernelContainer("bitmap_and", ref, kernels.bitmap_and, kind=lib,
+                        num_args=3),
+        KernelContainer("bitmap_or", ref, kernels.bitmap_or, kind=lib,
+                        num_args=3),
+        KernelContainer("materialize", ref, kernels.materialize, kind=lib,
+                        num_args=3),
+        KernelContainer("materialize_position", ref,
+                        kernels.materialize_position, kind=lib, num_args=3),
+        KernelContainer("agg_block", ref, kernels.agg_block, kind=lib,
+                        num_args=2),
+        KernelContainer("hash_agg", ref, kernels.hash_agg, kind=lib,
+                        num_args=3),
+        KernelContainer("hash_build", ref, kernels.hash_build, kind=lib,
+                        num_args=2),
+        KernelContainer("hash_probe", ref, kernels.hash_probe, kind=lib,
+                        num_args=4),
+        KernelContainer("join_side", ref, kernels.join_side, kind=lib,
+                        num_args=2),
+        KernelContainer("gather_payload", ref, kernels.gather_payload,
+                        kind=lib, num_args=3),
+        KernelContainer("group_keys", ref, kernels.group_keys, kind=lib,
+                        num_args=2),
+        KernelContainer("group_values", ref, kernels.group_values,
+                        kind=lib, num_args=2),
+        KernelContainer("prefix_sum", ref, kernels.prefix_sum, kind=lib,
+                        num_args=2),
+        KernelContainer("sort_agg", ref, kernels.sort_agg, kind=lib,
+                        num_args=3),
+        KernelContainer("sort_positions", ref, kernels.sort_positions,
+                        kind=lib, num_args=2),
+        KernelContainer("group_prefix", ref, kernels.group_prefix,
+                        kind=lib, num_args=2),
+    ]
+
+
+def default_registry() -> TaskRegistry:
+    """A registry pre-loaded with the reference kernels.
+
+    The simulated SDK drivers all execute the reference kernels (results
+    are SDK-independent); what differs per SDK is the *cost* charged by the
+    device layer.  A real deployment would additionally register
+    per-SDK containers here — the tests do exactly that to exercise the
+    variant-resolution path.
+    """
+    registry = TaskRegistry()
+    for container in _reference_kernels():
+        registry.register(container)
+    return registry

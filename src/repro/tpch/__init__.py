@@ -1,0 +1,14 @@
+"""TPC-H workload substrate: schema, generator, sizes, reference oracles."""
+
+from repro.tpch import reference, sizes
+from repro.tpch.dbgen import generate
+from repro.tpch.schema import COLUMN_WIDTH_BYTES, TPCH_TABLES, table_rows
+
+__all__ = [
+    "generate",
+    "reference",
+    "sizes",
+    "TPCH_TABLES",
+    "COLUMN_WIDTH_BYTES",
+    "table_rows",
+]

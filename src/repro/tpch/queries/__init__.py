@@ -1,0 +1,15 @@
+"""Primitive-graph plans for TPC-H queries.
+
+Q1/Q3/Q4/Q6 are the paper's evaluated queries; Q5, Q12 and Q14 extend
+the workload (five-way joins, IN-lists, payload gathers, conditional
+aggregation), and ``q1_sorted`` is the SORT_AGG-based alternative plan.
+Every module exposes ``build(...) -> PrimitiveGraph`` and
+``finalize(result, catalog)`` returning the same shape as the
+corresponding oracle in :mod:`repro.tpch.reference`.
+"""
+
+from repro.tpch.queries import (q1, q1_sorted, q3, q4, q5, q6, q10,
+                                q12, q14, q18, q19)
+
+__all__ = ["q1", "q1_sorted", "q3", "q4", "q5", "q6", "q10", "q12",
+           "q14", "q18", "q19"]

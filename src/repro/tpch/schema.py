@@ -1,0 +1,167 @@
+"""TPC-H schema metadata: tables, columns, cardinalities, widths.
+
+The paper treats all query inputs as arrays of 32-bit integers (Section V-C
+speaks of "2^29.7 32 bit integer values"), which matches a dictionary- and
+cent-encoded columnar layout.  We therefore account every column at four
+bytes, and the generator in :mod:`repro.tpch.dbgen` produces exactly these
+encoded representations:
+
+* dates      -> int32 days since 1970-01-01
+* money      -> int64 cents in arrays, counted at 4 bytes for size math
+  (the paper's prototype stores 32-bit values; we keep int64 in numpy to
+  avoid overflow in revenue aggregates but preserve the paper's footprint
+  accounting)
+* strings    -> int32 dictionary codes
+
+Cardinalities follow the TPC-H specification: ``lineitem`` has roughly
+``6_000_000 * SF`` rows, etc.  Fractional scale factors are allowed so the
+functional tests can run on thousands of rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ColumnSpec",
+    "TableSpec",
+    "TPCH_TABLES",
+    "COLUMN_WIDTH_BYTES",
+    "table_rows",
+]
+
+# Every encoded column is accounted at 4 bytes/value (see module docstring).
+COLUMN_WIDTH_BYTES = 4
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column: name plus the encoding the generator produces."""
+
+    name: str
+    encoding: str  # "int" | "money" | "date" | "dict"
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """One table: name, per-SF row count, and column list."""
+
+    name: str
+    rows_per_sf: float
+    columns: tuple[ColumnSpec, ...]
+
+    def rows(self, scale_factor: float) -> int:
+        """Row count at *scale_factor* (fixed-size tables ignore SF)."""
+        if self.name in ("nation", "region"):
+            return int(self.rows_per_sf)
+        return max(1, int(round(self.rows_per_sf * scale_factor)))
+
+    def bytes_per_row(self) -> int:
+        return COLUMN_WIDTH_BYTES * len(self.columns)
+
+    def nbytes(self, scale_factor: float) -> int:
+        return self.rows(scale_factor) * self.bytes_per_row()
+
+
+def _cols(*names_and_encodings: tuple[str, str]) -> tuple[ColumnSpec, ...]:
+    return tuple(ColumnSpec(n, e) for n, e in names_and_encodings)
+
+
+TPCH_TABLES: dict[str, TableSpec] = {
+    "lineitem": TableSpec(
+        "lineitem",
+        rows_per_sf=6_000_000,
+        columns=_cols(
+            ("l_orderkey", "int"),
+            ("l_partkey", "int"),
+            ("l_suppkey", "int"),
+            ("l_linenumber", "int"),
+            ("l_quantity", "int"),
+            ("l_extendedprice", "money"),
+            ("l_discount", "int"),  # hundredths: 0..10
+            ("l_tax", "int"),  # hundredths: 0..8
+            ("l_returnflag", "dict"),
+            ("l_linestatus", "dict"),
+            ("l_shipdate", "date"),
+            ("l_commitdate", "date"),
+            ("l_receiptdate", "date"),
+            ("l_shipmode", "dict"),
+        ),
+    ),
+    "orders": TableSpec(
+        "orders",
+        rows_per_sf=1_500_000,
+        columns=_cols(
+            ("o_orderkey", "int"),
+            ("o_custkey", "int"),
+            ("o_orderstatus", "dict"),
+            ("o_totalprice", "money"),
+            ("o_orderdate", "date"),
+            ("o_orderpriority", "dict"),
+            ("o_shippriority", "int"),
+        ),
+    ),
+    "customer": TableSpec(
+        "customer",
+        rows_per_sf=150_000,
+        columns=_cols(
+            ("c_custkey", "int"),
+            ("c_nationkey", "int"),
+            ("c_mktsegment", "dict"),
+            ("c_acctbal", "money"),
+        ),
+    ),
+    "part": TableSpec(
+        "part",
+        rows_per_sf=200_000,
+        columns=_cols(
+            ("p_partkey", "int"),
+            ("p_brand", "dict"),
+            ("p_type", "dict"),
+            ("p_size", "int"),
+            ("p_container", "dict"),
+            ("p_retailprice", "money"),
+        ),
+    ),
+    "supplier": TableSpec(
+        "supplier",
+        rows_per_sf=10_000,
+        columns=_cols(
+            ("s_suppkey", "int"),
+            ("s_nationkey", "int"),
+            ("s_acctbal", "money"),
+        ),
+    ),
+    "partsupp": TableSpec(
+        "partsupp",
+        rows_per_sf=800_000,
+        columns=_cols(
+            ("ps_partkey", "int"),
+            ("ps_suppkey", "int"),
+            ("ps_availqty", "int"),
+            ("ps_supplycost", "money"),
+        ),
+    ),
+    "nation": TableSpec(
+        "nation",
+        rows_per_sf=25,
+        columns=_cols(
+            ("n_nationkey", "int"),
+            ("n_regionkey", "int"),
+            ("n_name", "dict"),
+        ),
+    ),
+    "region": TableSpec(
+        "region",
+        rows_per_sf=5,
+        columns=_cols(
+            ("r_regionkey", "int"),
+            ("r_name", "dict"),
+        ),
+    ),
+}
+
+
+def table_rows(name: str, scale_factor: float) -> int:
+    """Row count of TPC-H table *name* at *scale_factor*."""
+    return TPCH_TABLES[name].rows(scale_factor)

@@ -1,0 +1,118 @@
+"""Query input-footprint accounting (Figure 7, left).
+
+Figure 7 (left) plots, per TPC-H query, the total size of the *input
+columns* the query touches, against the memory capacities of several GPUs.
+This module computes those footprints analytically from the schema, so the
+figure can be regenerated for any scale factor without materializing data.
+
+The per-query column sets below follow the TPC-H specification's query
+definitions (join keys, predicate columns, aggregation inputs).  They are
+the columns a column-store executor must *read*; intermediate results are
+excluded, exactly as in the paper's accounting.
+"""
+
+from __future__ import annotations
+
+from repro.tpch.schema import COLUMN_WIDTH_BYTES, TPCH_TABLES, table_rows
+
+__all__ = [
+    "QUERY_INPUT_COLUMNS",
+    "query_input_bytes",
+    "dataset_bytes",
+    "queries_fitting_in",
+]
+
+# table -> columns read, per query.  Keys are TPC-H query numbers.
+QUERY_INPUT_COLUMNS: dict[int, dict[str, list[str]]] = {
+    1: {
+        "lineitem": [
+            "l_returnflag", "l_linestatus", "l_quantity",
+            "l_extendedprice", "l_discount", "l_tax", "l_shipdate",
+        ],
+    },
+    3: {
+        "customer": ["c_custkey", "c_mktsegment"],
+        "orders": ["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"],
+        "lineitem": ["l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"],
+    },
+    4: {
+        "orders": ["o_orderkey", "o_orderdate", "o_orderpriority"],
+        "lineitem": ["l_orderkey", "l_commitdate", "l_receiptdate"],
+    },
+    5: {
+        "customer": ["c_custkey", "c_nationkey"],
+        "orders": ["o_orderkey", "o_custkey", "o_orderdate"],
+        "lineitem": ["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"],
+        "supplier": ["s_suppkey", "s_nationkey"],
+        "nation": ["n_nationkey", "n_regionkey", "n_name"],
+        "region": ["r_regionkey", "r_name"],
+    },
+    6: {
+        "lineitem": [
+            "l_shipdate", "l_discount", "l_quantity", "l_extendedprice",
+        ],
+    },
+    10: {
+        "customer": ["c_custkey", "c_nationkey", "c_acctbal"],
+        "orders": ["o_orderkey", "o_custkey", "o_orderdate"],
+        "lineitem": ["l_orderkey", "l_returnflag", "l_extendedprice", "l_discount"],
+        "nation": ["n_nationkey", "n_name"],
+    },
+    12: {
+        "orders": ["o_orderkey", "o_orderpriority"],
+        "lineitem": [
+            "l_orderkey", "l_shipmode", "l_commitdate",
+            "l_receiptdate", "l_shipdate",
+        ],
+    },
+    14: {
+        "lineitem": ["l_partkey", "l_shipdate", "l_extendedprice", "l_discount"],
+        "part": ["p_partkey", "p_type"],
+    },
+    18: {
+        "customer": ["c_custkey"],
+        "orders": ["o_orderkey", "o_custkey", "o_totalprice", "o_orderdate"],
+        "lineitem": ["l_orderkey", "l_quantity"],
+    },
+    19: {
+        "lineitem": [
+            "l_partkey", "l_quantity", "l_extendedprice",
+            "l_discount", "l_shipmode",
+        ],
+        "part": ["p_partkey", "p_brand", "p_container", "p_size"],
+    },
+}
+
+
+def query_input_bytes(query: int, scale_factor: float) -> int:
+    """Bytes of input columns TPC-H query *query* reads at *scale_factor*."""
+    try:
+        tables = QUERY_INPUT_COLUMNS[query]
+    except KeyError:
+        raise KeyError(
+            f"no input-column accounting for Q{query}; "
+            f"known: {sorted(QUERY_INPUT_COLUMNS)}"
+        ) from None
+    total = 0
+    for table, columns in tables.items():
+        spec = TPCH_TABLES[table]
+        known = {c.name for c in spec.columns}
+        missing = [c for c in columns if c not in known]
+        if missing:
+            raise KeyError(f"unknown columns {missing} for table {table!r}")
+        total += table_rows(table, scale_factor) * COLUMN_WIDTH_BYTES * len(columns)
+    return total
+
+
+def dataset_bytes(scale_factor: float) -> int:
+    """Size of the complete encoded TPC-H dataset at *scale_factor*."""
+    return sum(t.nbytes(scale_factor) for t in TPCH_TABLES.values())
+
+
+def queries_fitting_in(capacity_bytes: int, scale_factor: float) -> list[int]:
+    """Queries whose full input fits in a device of *capacity_bytes*
+    (the Figure 7-left comparison)."""
+    return [
+        q for q in sorted(QUERY_INPUT_COLUMNS)
+        if query_input_bytes(q, scale_factor) <= capacity_bytes
+    ]

@@ -1,0 +1,65 @@
+"""Shared fixtures: generated catalogs, executors, devices, clocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.executor import AdamantExecutor
+from repro.devices import CudaDevice, OpenCLDevice, OpenMPDevice
+from repro.hardware import (
+    CPU_I7_8700,
+    GPU_RTX_2080_TI,
+    VirtualClock,
+)
+from repro.tpch import generate
+
+
+@pytest.fixture(scope="session")
+def tiny_catalog():
+    """~3k lineitems; fast enough for per-test executions."""
+    return generate(0.0005, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_catalog():
+    """~60k lineitems; used by the integration matrix."""
+    return generate(0.01, seed=11)
+
+
+@pytest.fixture()
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture()
+def gpu(clock):
+    device = CudaDevice("gpu0", GPU_RTX_2080_TI, clock)
+    device.initialize()
+    return device
+
+
+@pytest.fixture()
+def opencl_gpu(clock):
+    device = OpenCLDevice("oclgpu", GPU_RTX_2080_TI, clock)
+    device.initialize()
+    return device
+
+
+@pytest.fixture()
+def cpu(clock):
+    device = OpenMPDevice("cpu0", CPU_I7_8700, clock)
+    device.initialize()
+    return device
+
+
+def make_executor(driver=CudaDevice, spec=GPU_RTX_2080_TI, *,
+                  memory_limit=None, name="dev0"):
+    """One-device executor (helper, not a fixture, so tests can vary it)."""
+    executor = AdamantExecutor()
+    executor.plug_device(name, driver, spec, memory_limit=memory_limit)
+    return executor
+
+
+@pytest.fixture()
+def gpu_executor():
+    return make_executor()

@@ -1,0 +1,56 @@
+"""Tests for the benchmark reporting helpers."""
+
+import pytest
+
+from repro.bench import Report, fmt_bytes, fmt_rate, fmt_seconds
+from repro.bench.report import RESULTS_DIR
+
+
+class TestFormatters:
+    def test_fmt_bytes_units(self):
+        assert fmt_bytes(512) == "512.00 B"
+        assert fmt_bytes(2048) == "2.00 KiB"
+        assert fmt_bytes(3 * 1024**2) == "3.00 MiB"
+        assert fmt_bytes(11 * 1024**3) == "11.00 GiB"
+        assert "TiB" in fmt_bytes(5 * 1024**4)
+
+    def test_fmt_seconds_ranges(self):
+        assert fmt_seconds(5e-7) == "0.5 us"
+        assert fmt_seconds(2.5e-3) == "2.50 ms"
+        assert fmt_seconds(1.5) == "1.500 s"
+        assert fmt_seconds(float("inf")) == "OOM"
+
+    def test_fmt_rate_prefixes(self):
+        assert fmt_rate(900) == "900.00 elem/s"
+        assert fmt_rate(42e9) == "42.00 Gelem/s"
+        assert fmt_rate(12e9, "B") == "12.00 GB/s"
+
+
+class TestReport:
+    def test_table_alignment(self):
+        report = Report("t1", "Title")
+        report.table(["col", "value"], [["a", "1"], ["long-name", "22"]])
+        text = "\n".join(report._lines)
+        lines = text.splitlines()
+        assert lines[0].startswith("col")
+        assert "---" in lines[1]
+        # all rows have the same width
+        assert len({len(line.rstrip()) for line in lines[2:]}) <= 2
+
+    def test_empty_table(self):
+        report = Report("t2", "Empty")
+        report.table(["a", "b"], [])
+        assert "a" in report._lines[0]
+
+    def test_emit_persists_artifact(self, capsys):
+        report = Report("unit_test_report", "Unit Test Report")
+        report.line("hello")
+        report.emit()
+        out = capsys.readouterr().out
+        assert "Unit Test Report" in out
+        artifact = RESULTS_DIR / "unit_test_report.txt"
+        try:
+            assert artifact.exists()
+            assert "hello" in artifact.read_text()
+        finally:
+            artifact.unlink(missing_ok=True)

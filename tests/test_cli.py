@@ -1,0 +1,77 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDevices:
+    def test_lists_specs(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "GeForce RTX 2080 Ti" in out
+        assert "Nvidia A100" in out
+        assert "Intel Core i7-8700" in out
+
+
+class TestRun:
+    def test_q6_matches_oracle(self, capsys):
+        code = main(["run", "--query", "q6", "--sf", "0.002",
+                     "--chunk-size", "1024", "--model", "chunked"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "oracle match: True" in out
+        assert "simulated time" in out
+
+    def test_q3_needs_catalog_aware_build(self, capsys):
+        code = main(["run", "--query", "q3", "--sf", "0.002",
+                     "--chunk-size", "1024",
+                     "--model", "four_phase_pipelined"])
+        assert code == 0
+        assert "oracle match: True" in capsys.readouterr().out
+
+    def test_q14_float_result(self, capsys):
+        code = main(["run", "--query", "q14", "--sf", "0.005",
+                     "--chunk-size", "1024", "--model", "oaat"])
+        assert code == 0
+
+    @pytest.mark.parametrize("driver", ["opencl-gpu", "opencl-cpu", "openmp"])
+    def test_other_drivers(self, capsys, driver):
+        code = main(["run", "--query", "q6", "--sf", "0.002",
+                     "--chunk-size", "1024", "--driver", driver])
+        assert code == 0
+        assert "oracle match: True" in capsys.readouterr().out
+
+    def test_spec_selection(self, capsys):
+        code = main(["run", "--query", "q6", "--sf", "0.002",
+                     "--chunk-size", "1024", "--spec", "a100"])
+        assert code == 0
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--query", "q99"])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--model", "vectorwise"])
+
+
+class TestCompare:
+    def test_all_models_listed(self, capsys):
+        code = main(["compare", "--query", "q6", "--sf", "0.002",
+                     "--chunk-size", "1024"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for model in ("oaat", "chunked", "pipelined", "four_phase_chunked",
+                      "four_phase_pipelined"):
+            assert model in out
+        assert "vs chunked" in out
+
+    def test_oom_reported_not_raised(self, capsys):
+        code = main(["compare", "--query", "q6", "--sf", "0.01",
+                     "--chunk-size", "1024",
+                     "--memory-limit", "400000"])
+        out = capsys.readouterr().out
+        assert "DeviceMemoryError" in out  # oaat line
+        assert "chunked" in out
+        assert code == 0  # chunked models still verified OK

@@ -1,0 +1,136 @@
+"""Tests for per-chunk partial-result combination."""
+
+import numpy as np
+import pytest
+
+from repro.core.combine import ChunkPartial, combine_chunk_results
+from repro.errors import ExecutionError
+from repro.primitives.kernels import hash_agg, hash_build, hash_probe
+from repro.primitives.values import (
+    Bitmap,
+    JoinPairs,
+    PositionList,
+    PrefixSum,
+)
+
+
+def parts(*values_and_bases):
+    return [ChunkPartial(v, b) for v, b in values_and_bases]
+
+
+class TestNumericAndScalar:
+    def test_columns_concatenate(self):
+        out = combine_chunk_results(parts(
+            (np.array([1, 2]), 0), (np.array([3]), 2)))
+        assert list(out) == [1, 2, 3]
+
+    def test_scalar_sum_merges(self):
+        out = combine_chunk_results(parts(
+            (np.array([10]), 0), (np.array([5]), 2)), agg_fn="sum")
+        assert out[0] == 15
+
+    def test_scalar_min_merges(self):
+        out = combine_chunk_results(parts(
+            (np.array([10]), 0), (np.array([5]), 2)), agg_fn="min")
+        assert out[0] == 5
+
+    def test_scalar_count_sums(self):
+        out = combine_chunk_results(parts(
+            (np.array([7]), 0), (np.array([3]), 2)), agg_fn="count")
+        assert out[0] == 10
+
+    def test_single_chunk_passthrough(self):
+        value = np.array([1, 2, 3])
+        assert combine_chunk_results(parts((value, 0))) is value
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExecutionError):
+            combine_chunk_results([])
+
+
+class TestBitmaps:
+    def test_aligned_chunks_concatenate(self):
+        a = Bitmap.from_mask(np.array([True] * 32))
+        b = Bitmap.from_mask(np.array([False] * 10))
+        out = combine_chunk_results(parts((a, 0), (b, 32)))
+        assert out.length == 42
+        assert out.count() == 32
+
+    def test_unaligned_interior_chunk_rejected(self):
+        a = Bitmap.from_mask(np.array([True] * 30))  # not 32-aligned
+        b = Bitmap.from_mask(np.array([True] * 32))
+        with pytest.raises(ExecutionError):
+            combine_chunk_results(parts((a, 0), (b, 30)))
+
+    def test_last_chunk_may_be_short(self):
+        a = Bitmap.from_mask(np.ones(64, dtype=bool))
+        b = Bitmap.from_mask(np.ones(7, dtype=bool))
+        out = combine_chunk_results(parts((a, 0), (b, 64)))
+        assert out.length == 71
+        assert out.count() == 71
+
+
+class TestPositionsAndPairs:
+    def test_positions_offset_by_base(self):
+        a = PositionList(np.array([0, 5]))
+        b = PositionList(np.array([1]))
+        out = combine_chunk_results(parts((a, 0), (b, 100)))
+        assert list(out.positions) == [0, 5, 101]
+
+    def test_single_chunk_positions_offset(self):
+        # Even a single chunk goes through the offset path (base 0).
+        out = combine_chunk_results(parts((PositionList(np.array([3])), 0)))
+        assert list(out.positions) == [3]
+
+    def test_join_pairs_offset_probe_side_only(self):
+        a = JoinPairs(np.array([0]), np.array([42]))
+        b = JoinPairs(np.array([2]), np.array([43]))
+        out = combine_chunk_results(parts((a, 0), (b, 50)))
+        assert list(out.left) == [0, 52]
+        assert list(out.right) == [42, 43]  # build positions already global
+
+
+class TestTables:
+    def test_group_tables_merge_sum(self):
+        a = hash_agg(np.array([1, 2]), np.array([10, 20]), fn="sum")
+        b = hash_agg(np.array([2, 3]), np.array([1, 2]), fn="sum")
+        out = combine_chunk_results(parts((a, 0), (b, 64)), agg_fn="sum")
+        assert list(out.keys) == [1, 2, 3]
+        assert list(out.aggregates["sum"]) == [10, 21, 2]
+
+    def test_group_tables_merge_count(self):
+        a = hash_agg(np.array([1, 1]), fn="count")
+        b = hash_agg(np.array([1]), fn="count")
+        out = combine_chunk_results(parts((a, 0), (b, 64)), agg_fn="count")
+        assert list(out.aggregates["count"]) == [3]
+
+    def test_hash_tables_union_with_global_positions(self):
+        a = hash_build(np.array([1, 2]), base_position=0)
+        b = hash_build(np.array([1]), base_position=2)
+        out = combine_chunk_results(parts((a, 0), (b, 2)))
+        pairs = hash_probe(np.array([1]), out, mode="inner")
+        assert sorted(pairs.right.tolist()) == [0, 2]
+
+
+class TestPrefixSums:
+    def test_carry_across_chunks(self):
+        a = PrefixSum(np.array([1, 2, 3]))
+        b = PrefixSum(np.array([1, 1]))
+        out = combine_chunk_results(parts((a, 0), (b, 3)))
+        assert list(out.sums) == [1, 2, 3, 4, 4]
+        assert out.total == 4
+
+    def test_matches_unchunked(self):
+        data = np.random.default_rng(5).integers(0, 4, 100)
+        whole = np.cumsum(data)
+        half = len(data) // 2
+        a = PrefixSum(np.cumsum(data[:half]))
+        b = PrefixSum(np.cumsum(data[half:]))
+        out = combine_chunk_results(parts((a, 0), (b, half)))
+        assert np.array_equal(out.sums, whole)
+
+
+class TestUnsupported:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ExecutionError):
+            combine_chunk_results(parts(("weird", 0), ("weird", 1)))

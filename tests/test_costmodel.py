@@ -1,0 +1,211 @@
+"""Cost-model tests: the orderings the paper's figures depend on."""
+
+import math
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.hardware.costmodel import CostModel, TransferDirection
+from repro.hardware.specs import (
+    CPU_I7_8700,
+    GPU_A100,
+    GPU_RTX_2080_TI,
+    Sdk,
+)
+
+CUDA = CostModel(GPU_RTX_2080_TI, Sdk.CUDA)
+OPENCL_GPU = CostModel(GPU_RTX_2080_TI, Sdk.OPENCL)
+OPENCL_CPU = CostModel(CPU_I7_8700, Sdk.OPENCL)
+OPENMP = CostModel(CPU_I7_8700, Sdk.OPENMP)
+CUDA_A100 = CostModel(GPU_A100, Sdk.CUDA)
+
+
+class TestBandwidth:
+    """Figure 3 invariants."""
+
+    def test_cuda_faster_than_opencl(self):
+        for pinned in (True, False):
+            for direction in (TransferDirection.H2D, TransferDirection.D2H):
+                assert CUDA.bandwidth(direction, pinned) > \
+                    OPENCL_GPU.bandwidth(direction, pinned)
+
+    def test_pinned_faster_than_pageable(self):
+        for model in (CUDA, OPENCL_GPU):
+            assert model.bandwidth(pinned=True) > model.bandwidth(pinned=False)
+
+    def test_a100_faster_than_2080ti(self):
+        assert CUDA_A100.bandwidth(pinned=True) > CUDA.bandwidth(pinned=True)
+
+    def test_d2h_slightly_slower_than_h2d(self):
+        assert CUDA.bandwidth(TransferDirection.D2H, True) < \
+            CUDA.bandwidth(TransferDirection.H2D, True)
+
+    def test_d2d_uses_internal_bandwidth(self):
+        assert CUDA.bandwidth(TransferDirection.D2D) == \
+            GPU_RTX_2080_TI.mem_bandwidth
+
+    def test_transfer_seconds_scales_with_size(self):
+        small = CUDA.transfer_seconds(2**20, pinned=True)
+        large = CUDA.transfer_seconds(2**28, pinned=True)
+        assert large > small
+        # Asymptotically linear: the 256x payload dominates the setup.
+        assert large / small > 100
+
+    def test_transfer_has_fixed_setup(self):
+        assert CUDA.transfer_seconds(0) > 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(SchedulingError):
+            CUDA.transfer_seconds(-1)
+
+
+class TestOverheads:
+    """Figure 10 drivers: launch and mapping costs."""
+
+    def test_opencl_launch_costs_more(self):
+        assert OPENCL_GPU.launch_seconds(0) > CUDA.launch_seconds(0)
+
+    def test_opencl_pays_per_argument(self):
+        base = OPENCL_GPU.launch_seconds(0)
+        assert OPENCL_GPU.launch_seconds(4) > base
+        # CUDA and OpenMP need no explicit arg mapping.
+        assert CUDA.launch_seconds(4) == CUDA.launch_seconds(0)
+        assert OPENMP.launch_seconds(4) == OPENMP.launch_seconds(0)
+
+    def test_pinned_alloc_costs_more_than_plain(self):
+        assert CUDA.alloc_seconds(2**20, pinned=True) > \
+            CUDA.alloc_seconds(2**20, pinned=False)
+
+    def test_opencl_compile_expensive(self):
+        assert OPENCL_GPU.compile_seconds() > CUDA.compile_seconds()
+        assert OPENMP.compile_seconds() == 0.0
+
+    def test_transform_is_cheap(self):
+        # The whole point of transform_memory: far cheaper than moving
+        # the buffer through the host.
+        nbytes = 2**28
+        assert CUDA.transform_seconds(nbytes) < \
+            CUDA.transfer_seconds(nbytes, pinned=True) / 100
+
+
+class TestKernelCosts:
+    def test_map_scales_linearly(self):
+        t1 = CUDA.kernel_seconds("map", 2**20)
+        t2 = CUDA.kernel_seconds("map", 2**22)
+        assert t2 == pytest.approx(4 * t1)
+
+    def test_gpu_map_faster_than_cpu(self):
+        assert CUDA.kernel_seconds("map", 2**24) < \
+            OPENMP.kernel_seconds("map", 2**24)
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(SchedulingError):
+            CUDA.kernel_seconds("sort_merge_join", 100)
+
+    def test_throughput_inverse_of_seconds(self):
+        n = 2**24
+        assert CUDA.throughput("map", n) == pytest.approx(
+            n / CUDA.kernel_seconds("map", n))
+
+    def test_a100_outruns_2080ti(self):
+        assert CUDA_A100.kernel_seconds("map", 2**24) < \
+            CUDA.kernel_seconds("map", 2**24)
+
+
+class TestContention:
+    """Figure 9 shapes."""
+
+    def test_opencl_hash_agg_degrades_with_groups(self):
+        t_small = OPENCL_GPU.throughput("hash_agg", 2**24, groups=2)
+        t_large = OPENCL_GPU.throughput("hash_agg", 2**24, groups=2**20)
+        assert t_small / t_large > 3  # "decreases drastically"
+
+    def test_cuda_hash_agg_stays_flat(self):
+        t_small = CUDA.throughput("hash_agg", 2**24, groups=2)
+        t_large = CUDA.throughput("hash_agg", 2**24, groups=2**20)
+        assert t_small / t_large < 2  # "not deteriorating"
+
+    def test_cuda_flatter_than_opencl(self):
+        def degradation(model):
+            return (model.throughput("hash_agg", 2**24, groups=2)
+                    / model.throughput("hash_agg", 2**24, groups=2**20))
+        assert degradation(CUDA) < degradation(OPENCL_GPU)
+
+    def test_gpu_hash_build_drops_with_size(self):
+        small = CUDA.throughput("hash_build", 2**24)
+        large = CUDA.throughput("hash_build", 2**28)
+        assert large < small
+
+    def test_cpu_hash_build_flat_in_size(self):
+        small = OPENMP.throughput("hash_build", 2**24)
+        large = OPENMP.throughput("hash_build", 2**28)
+        assert large == pytest.approx(small)
+
+    def test_build_slower_than_probe(self):
+        # Atomic insertion overhead (Section V-A).
+        for model in (CUDA, OPENCL_GPU, OPENMP):
+            assert model.kernel_seconds("hash_build", 2**24) > \
+                model.kernel_seconds("hash_probe", 2**24)
+
+    def test_contention_factor_at_least_one(self):
+        for groups in (1, 2, 1024, 2**20):
+            assert OPENCL_GPU._contention_factor(
+                "hash_agg", 2**24, groups) >= 1.0
+
+    def test_no_groups_means_no_contention(self):
+        base = CUDA.kernel_seconds("hash_agg", 2**24, groups=1)
+        default = CUDA.kernel_seconds("hash_agg", 2**24)
+        assert default == pytest.approx(base)
+
+
+class TestPaperShapeFigure5And9:
+    """Driver-level throughput orderings reported in Section V-A."""
+
+    def test_map_roughly_sdk_independent_on_gpu(self):
+        cuda = CUDA.throughput("map", 2**28)
+        opencl = OPENCL_GPU.throughput("map", 2**28)
+        assert 0.9 < cuda / opencl < 1.1
+
+    def test_cpu_filter_opencl_beats_openmp(self):
+        assert OPENCL_CPU.throughput("filter_bitmap", 2**28) > \
+            OPENMP.throughput("filter_bitmap", 2**28)
+
+    def test_gpu_materialize_penalty(self):
+        # Combined filter+materialize drops to roughly 30% of
+        # bitmap-only on a GPU.
+        n = 2**28
+        bitmap_only = CUDA.kernel_seconds("filter_bitmap", n)
+        with_mat = bitmap_only + CUDA.kernel_seconds("materialize", n)
+        ratio = bitmap_only / with_mat
+        assert 0.2 < ratio < 0.45
+
+    def test_cpu_materialize_penalty_small(self):
+        n = 2**28
+        bitmap_only = OPENMP.kernel_seconds("filter_bitmap", n)
+        with_mat = bitmap_only + OPENMP.kernel_seconds("materialize", n)
+        assert bitmap_only / with_mat > 0.45
+
+    def test_gpu_hash_ops_beat_cpu(self):
+        for primitive in ("hash_agg", "hash_build", "hash_probe"):
+            assert CUDA.throughput(primitive, 2**24) > \
+                OPENMP.throughput(primitive, 2**24)
+
+    def test_cuda_probe_slightly_below_opencl_probe(self):
+        # Figure 9e: probe order effects favour OpenCL slightly.
+        assert OPENCL_GPU.throughput("hash_probe", 2**24) > \
+            CUDA.throughput("hash_probe", 2**24)
+
+
+class TestAllRatesCovered:
+    def test_every_primitive_has_rates_on_every_driver(self):
+        from repro.hardware.calibration import PRIMITIVE_RATES
+        keys = list(PRIMITIVE_RATES)
+        names = {name for rates in PRIMITIVE_RATES.values() for name in rates}
+        for key in keys:
+            assert set(PRIMITIVE_RATES[key]) == names, key
+
+    def test_rates_positive_and_finite(self):
+        from repro.hardware.calibration import PRIMITIVE_RATES
+        for rates in PRIMITIVE_RATES.values():
+            for name, rate in rates.items():
+                assert rate > 0 and math.isfinite(rate), name

@@ -1,0 +1,229 @@
+"""Tests for the device layer: the ten interfaces on simulated drivers."""
+
+import numpy as np
+import pytest
+
+from repro.devices import (
+    CudaDevice,
+    OpenCLDevice,
+    OpenMPDevice,
+    Task,
+    register_default_transforms,
+)
+from repro.errors import (
+    DeviceMemoryError,
+    DeviceNotInitializedError,
+    KernelCompilationError,
+)
+from repro.hardware import CPU_I7_8700, GPU_RTX_2080_TI, Sdk, VirtualClock
+from repro.task import KernelContainer, default_registry
+
+REGISTRY = default_registry()
+
+
+def filter_task(output="bm", value=500, n=1000):
+    return Task(REGISTRY.resolve("filter_bitmap", "cuda"), ["col"], output,
+                params=dict(cmp="lt", value=value), n_elements=n)
+
+
+class TestLifecycle:
+    def test_requires_initialize(self, clock):
+        device = CudaDevice("g", GPU_RTX_2080_TI, clock)
+        with pytest.raises(DeviceNotInitializedError):
+            device.place_data("x", np.arange(3))
+
+    def test_initialize_idempotent(self, gpu):
+        events_before = len(gpu.clock.events)
+        gpu.initialize()
+        assert len(gpu.clock.events) == events_before
+
+    def test_kind_restrictions(self, clock):
+        with pytest.raises(DeviceNotInitializedError):
+            CudaDevice("bad", CPU_I7_8700, clock)
+        with pytest.raises(DeviceNotInitializedError):
+            OpenMPDevice("bad", GPU_RTX_2080_TI, clock)
+        # OpenCL is hardware-oblivious: both kinds work.
+        OpenCLDevice("ok1", CPU_I7_8700, clock)
+        OpenCLDevice("ok2", GPU_RTX_2080_TI, clock)
+
+    def test_reset_clears_memory_and_requires_init(self, gpu):
+        gpu.place_data("x", np.arange(3))
+        gpu.reset()
+        assert gpu.memory.device_used == 0
+        with pytest.raises(DeviceNotInitializedError):
+            gpu.place_data("x", np.arange(3))
+
+    def test_memory_limit_override(self, clock):
+        device = CudaDevice("g", GPU_RTX_2080_TI, clock, memory_limit=1024)
+        device.initialize()
+        with pytest.raises(DeviceMemoryError):
+            device.prepare_memory("big", 2048)
+
+    def test_sdk_and_format(self, gpu, cpu, opencl_gpu):
+        assert gpu.sdk is Sdk.CUDA and gpu.data_format == "cuda.buffer"
+        assert cpu.sdk is Sdk.OPENMP
+        assert opencl_gpu.data_format == "opencl.buffer"
+
+
+class TestDataManagement:
+    def test_place_and_retrieve_roundtrip(self, gpu):
+        data = np.arange(100, dtype=np.int64)
+        gpu.place_data("c", data)
+        value, event = gpu.retrieve_data("c")
+        assert np.array_equal(value, data)
+        assert event.category == "transfer"
+
+    def test_place_auto_allocates(self, gpu):
+        gpu.place_data("c", np.arange(10, dtype=np.int64))
+        assert gpu.memory.get("c").nbytes == 80
+
+    def test_place_into_preallocated(self, gpu):
+        gpu.prepare_memory("c", 800)
+        gpu.place_data("c", np.arange(10, dtype=np.int64))
+        assert gpu.memory.get("c").nbytes == 800  # reservation kept
+
+    def test_transfer_events_on_transfer_stream(self, gpu):
+        event = gpu.place_data("c", np.arange(10))
+        assert event.stream == gpu.transfer_stream
+
+    def test_pinned_transfer_faster(self, clock):
+        device = CudaDevice("g", GPU_RTX_2080_TI, clock)
+        device.initialize()
+        data = np.arange(2**20, dtype=np.int64)
+        device.add_pinned_memory("pinned", data.nbytes)
+        device.prepare_memory("plain", data.nbytes)
+        fast = device.place_data("pinned", data)
+        slow = device.place_data("plain", data)
+        assert fast.duration < slow.duration
+
+    def test_delete_memory_frees(self, gpu):
+        gpu.place_data("c", np.arange(10))
+        used = gpu.memory.device_used
+        gpu.delete_memory("c")
+        assert gpu.memory.device_used == used - 80
+
+    def test_create_chunk_view(self, gpu):
+        gpu.place_data("c", np.arange(100, dtype=np.int64))
+        gpu.create_chunk("c", "c0", offset=10, size=5)
+        value, _ = gpu.retrieve_data("c0")
+        assert list(value) == [10, 11, 12, 13, 14]
+        assert gpu.memory.get("c0").view_of == "c"
+
+    def test_transform_memory_retags(self, gpu):
+        register_default_transforms(gpu)
+        gpu.place_data("c", np.arange(4))
+        gpu.transform_memory("c", "cuda.buffer", "opencl.buffer")
+        assert gpu.memory.get("c").data_format == "opencl.buffer"
+        value, _ = gpu.retrieve_data("c")
+        assert list(value) == [0, 1, 2, 3]
+
+    def test_oom_on_place(self, clock):
+        device = CudaDevice("g", GPU_RTX_2080_TI, clock, memory_limit=64)
+        device.initialize()
+        with pytest.raises(DeviceMemoryError):
+            device.place_data("big", np.arange(100, dtype=np.int64))
+
+
+class TestKernelManagement:
+    def test_compile_charged_once(self, opencl_gpu):
+        container = KernelContainer("map", "opencl", lambda *a, **k: None,
+                                    source="__kernel void m() {}")
+        first = opencl_gpu.prepare_kernel(container)
+        second = opencl_gpu.prepare_kernel(container)
+        assert first.duration > 0
+        assert second.duration == 0.0
+        assert container.compiled
+
+    def test_openmp_rejects_runtime_compilation(self, cpu):
+        container = KernelContainer("map", "openmp", lambda *a, **k: None,
+                                    source="void m() {}")
+        with pytest.raises(KernelCompilationError):
+            cpu.prepare_kernel(container)
+
+    def test_execute_compiles_sourced_kernel(self, opencl_gpu):
+        from repro.primitives.kernels import map_kernel
+        container = KernelContainer("map", "opencl", map_kernel,
+                                    source="__kernel void m() {}", num_args=3)
+        opencl_gpu.place_data("c", np.arange(8, dtype=np.int64))
+        task = Task(container, ["c"], "out",
+                    params=dict(op="add_const", const=1), n_elements=8)
+        opencl_gpu.execute(task)
+        assert container.compiled
+        value, _ = opencl_gpu.retrieve_data("out")
+        assert list(value) == list(range(1, 9))
+
+
+class TestExecute:
+    def test_execute_stores_result(self, gpu):
+        gpu.place_data("col", np.arange(1000, dtype=np.int64))
+        gpu.execute(filter_task())
+        bitmap = gpu.memory.get("bm").value
+        assert bitmap.count() == 500
+
+    def test_execute_depends_on_input_transfer(self, gpu):
+        transfer = gpu.place_data("col", np.arange(1000, dtype=np.int64))
+        event = gpu.execute(filter_task())
+        assert event.start >= transfer.end
+
+    def test_launch_and_compute_events(self, gpu):
+        gpu.place_data("col", np.arange(1000, dtype=np.int64))
+        gpu.execute(filter_task())
+        categories = [e.category for e in gpu.clock.events]
+        assert "launch" in categories
+        assert "compute" in categories
+
+    def test_output_buffer_grows_on_overflow(self, gpu):
+        gpu.place_data("col", np.arange(1000, dtype=np.int64))
+        gpu.prepare_memory("bm", 8)  # absurdly small estimate
+        gpu.execute(filter_task())
+        assert gpu.memory.get("bm").nbytes >= gpu.memory.get("bm").value.nbytes
+
+    def test_execute_without_output_discards(self, gpu):
+        gpu.place_data("col", np.arange(1000, dtype=np.int64))
+        task = filter_task(output=None)
+        gpu.execute(task)
+        assert "bm" not in gpu.memory
+
+    def test_chunk_view_as_input(self, gpu):
+        gpu.place_data("col", np.arange(64, dtype=np.int64))
+        gpu.create_chunk("col", "chunk", offset=0, size=32)
+        task = Task(REGISTRY.resolve("agg_block", "cuda"), ["chunk"], "s",
+                    params=dict(fn="sum"), n_elements=32)
+        gpu.execute(task)
+        assert gpu.memory.get("s").value[0] == sum(range(32))
+
+
+class TestDataScale:
+    def test_scaled_transfer_slower(self, clock):
+        a = CudaDevice("a", GPU_RTX_2080_TI, clock)
+        a.initialize()
+        b = CudaDevice("b", GPU_RTX_2080_TI, clock)
+        b.initialize()
+        b.data_scale = 1000
+        data = np.arange(2**16, dtype=np.int64)
+        plain = a.place_data("x", data)
+        scaled = b.place_data("x", data)
+        assert scaled.duration > plain.duration * 100
+
+    def test_scaled_memory_accounting(self, clock):
+        device = CudaDevice("g", GPU_RTX_2080_TI, clock)
+        device.initialize()
+        device.data_scale = 1000
+        device.place_data("x", np.arange(100, dtype=np.int64))
+        assert device.memory.device_used == 800 * 1000
+
+    def test_scaled_oom(self, clock):
+        device = CudaDevice("g", GPU_RTX_2080_TI, clock, memory_limit=10**6)
+        device.initialize()
+        device.data_scale = 10_000
+        with pytest.raises(DeviceMemoryError):
+            device.place_data("x", np.arange(1000, dtype=np.int64))
+
+    def test_scaled_kernel_time(self, clock):
+        device = CudaDevice("g", GPU_RTX_2080_TI, clock)
+        device.initialize()
+        device.place_data("col", np.arange(1000, dtype=np.int64))
+        plain = device.execute(filter_task(output="b1"))
+        device.data_scale = 1000
+        scaled = device.execute(filter_task(output="b2"))
+        assert scaled.duration > plain.duration * 100

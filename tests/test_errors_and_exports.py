@@ -1,0 +1,87 @@
+"""Tests for the error hierarchy, public exports, and pipeline spans."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_everything_is_adamant_error(self):
+        leaf_errors = [
+            errors.DeviceMemoryError, errors.UnknownBufferError,
+            errors.KernelCompilationError, errors.DeviceNotInitializedError,
+            errors.TransformError, errors.SignatureError,
+            errors.UnknownPrimitiveError, errors.NoImplementationError,
+            errors.GraphValidationError, errors.ExecutionError,
+            errors.SchedulingError, errors.CatalogError,
+            errors.StorageError, errors.WorkloadError, errors.PlanError,
+        ]
+        for cls in leaf_errors:
+            assert issubclass(cls, errors.AdamantError), cls
+
+    def test_layer_grouping(self):
+        assert issubclass(errors.DeviceMemoryError, errors.DeviceError)
+        assert issubclass(errors.SignatureError, errors.TaskError)
+        assert issubclass(errors.GraphValidationError,
+                          errors.RuntimeLayerError)
+        assert issubclass(errors.CatalogError, errors.StorageError)
+
+    def test_oom_carries_accounting(self):
+        error = errors.DeviceMemoryError("full", requested=100, available=7)
+        assert error.requested == 100
+        assert error.available == 7
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(errors.AdamantError):
+            raise errors.PlanError("nope")
+
+
+class TestPublicApi:
+    def test_top_level_exports(self):
+        assert hasattr(repro, "AdamantExecutor")
+        assert hasattr(repro, "PrimitiveGraph")
+        assert hasattr(repro, "DEFAULT_CHUNK_SIZE")
+        assert repro.DEFAULT_CHUNK_SIZE == 2**25
+        assert repro.__version__
+
+    def test_all_lists_are_accurate(self):
+        import repro.core as core
+        import repro.devices as devices
+        import repro.hardware as hardware
+        import repro.planner as planner
+        import repro.primitives as primitives
+        import repro.storage as storage
+        import repro.task as task
+        import repro.tpch as tpch
+        for module in (repro, core, devices, hardware, planner,
+                       primitives, storage, task, tpch):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
+
+
+class TestPipelineSpans:
+    def test_spans_cover_pipelines_in_order(self, tiny_catalog):
+        from repro.tpch.queries import q3
+        from tests.conftest import make_executor
+        executor = make_executor()
+        result = executor.run(q3.build(tiny_catalog), tiny_catalog,
+                              model="chunked", chunk_size=1024)
+        spans = result.stats.pipeline_spans
+        assert [index for index, _, _ in spans] == [0, 1, 2]
+        for index, start, end in spans:
+            assert end >= start
+        # consecutive pipelines begin no earlier than their predecessor
+        starts = [start for _, start, _ in spans]
+        assert starts == sorted(starts)
+
+    def test_spans_sum_close_to_makespan(self, tiny_catalog):
+        from repro.tpch.queries import q6
+        from tests.conftest import make_executor
+        executor = make_executor()
+        result = executor.run(q6.build(), tiny_catalog, model="chunked",
+                              chunk_size=1024)
+        (index, start, end), = result.stats.pipeline_spans
+        assert index == 0
+        assert end <= result.stats.makespan
+        assert end - start > 0.5 * result.stats.makespan

@@ -1,0 +1,145 @@
+"""Tests for the extension workload (Q12, Q14) and its new primitives."""
+
+import numpy as np
+import pytest
+
+from repro.devices import CudaDevice, OpenCLDevice, OpenMPDevice
+from repro.errors import SignatureError
+from repro.hardware import CPU_I7_8700, GPU_RTX_2080_TI
+from repro.primitives import kernels
+from repro.primitives.values import Bitmap, JoinPairs
+from repro.tpch import reference
+from repro.tpch.queries import q12, q14
+from tests.conftest import make_executor
+
+MODELS = ["oaat", "chunked", "pipelined", "four_phase_chunked",
+          "four_phase_pipelined"]
+
+
+class TestBitmapOr:
+    def test_disjunction(self):
+        a = Bitmap.from_mask(np.array([True, False, True, False]))
+        b = Bitmap.from_mask(np.array([False, False, True, True]))
+        out = kernels.bitmap_or(a, b)
+        assert list(out.to_mask()) == [True, False, True, True]
+
+    def test_length_mismatch(self):
+        a = Bitmap.from_mask(np.ones(32, bool))
+        b = Bitmap.from_mask(np.ones(64, bool))
+        with pytest.raises(SignatureError):
+            kernels.bitmap_or(a, b)
+
+    def test_de_morgan_with_and(self):
+        rng = np.random.default_rng(4)
+        mask_a, mask_b = rng.random(200) < 0.5, rng.random(200) < 0.5
+        a, b = Bitmap.from_mask(mask_a), Bitmap.from_mask(mask_b)
+        union = kernels.bitmap_or(a, b).count()
+        inter = kernels.bitmap_and(a, b).count()
+        assert union + inter == a.count() + b.count()
+
+
+class TestBetweenMapOp:
+    def test_indicator_values(self):
+        a = np.array([0, 1, 2, 3, 4])
+        out = kernels.map_kernel(a, op="between", const=(1, 3))
+        assert list(out) == [0, 1, 1, 1, 0]
+        assert out.dtype == np.int64
+
+
+class TestGatherPayload:
+    def test_inverts_build_permutation(self):
+        keys = np.array([30, 10, 20])
+        payload = np.array([300, 100, 200])
+        table = kernels.hash_build(keys, payload, payload_names=("v",))
+        probe = np.array([20, 30, 20])
+        pairs = kernels.hash_probe(probe, table, mode="inner")
+        values = kernels.gather_payload(pairs, table, name="v")
+        # each pair's payload must match its build row's payload
+        for left, right, value in zip(pairs.left, pairs.right, values):
+            assert value == payload[right]
+
+    def test_missing_payload_name(self):
+        table = kernels.hash_build(np.array([1]), np.array([1]),
+                                   payload_names=("v",))
+        pairs = kernels.hash_probe(np.array([1]), table, mode="inner")
+        with pytest.raises(SignatureError):
+            kernels.gather_payload(pairs, table, name="w")
+
+    def test_empty_pairs(self):
+        table = kernels.hash_build(np.array([1]), np.array([9]),
+                                   payload_names=("v",))
+        empty = JoinPairs(np.empty(0, np.int64), np.empty(0, np.int64))
+        assert kernels.gather_payload(empty, table, name="v").shape == (0,)
+
+    def test_works_after_chunked_merge(self):
+        from repro.core.combine import ChunkPartial, combine_chunk_results
+        a = kernels.hash_build(np.array([1, 2]), np.array([10, 20]),
+                               payload_names=("v",), base_position=0)
+        b = kernels.hash_build(np.array([3]), np.array([30]),
+                               payload_names=("v",), base_position=2)
+        merged = combine_chunk_results(
+            [ChunkPartial(a, 0), ChunkPartial(b, 2)])
+        pairs = kernels.hash_probe(np.array([3, 1]), merged, mode="inner")
+        values = kernels.gather_payload(pairs, merged, name="v")
+        by_key = dict(zip(pairs.left.tolist(), values.tolist()))
+        assert by_key == {0: 30, 1: 10}
+
+
+@pytest.mark.parametrize("model", MODELS)
+class TestQ12AndQ14Matrix:
+    def test_q12(self, small_catalog, model):
+        executor = make_executor()
+        result = executor.run(q12.build(small_catalog), small_catalog,
+                              model=model, chunk_size=4096)
+        assert q12.finalize(result, small_catalog) == \
+            reference.q12(small_catalog)
+
+    def test_q14(self, small_catalog, model):
+        executor = make_executor()
+        result = executor.run(q14.build(small_catalog), small_catalog,
+                              model=model, chunk_size=4096)
+        assert q14.finalize(result, small_catalog) == pytest.approx(
+            reference.q14(small_catalog))
+
+
+class TestAcrossDrivers:
+    @pytest.mark.parametrize("driver,spec", [
+        (OpenCLDevice, GPU_RTX_2080_TI),
+        (OpenCLDevice, CPU_I7_8700),
+        (OpenMPDevice, CPU_I7_8700),
+    ])
+    def test_q12_other_drivers(self, small_catalog, driver, spec):
+        executor = make_executor(driver, spec)
+        result = executor.run(q12.build(small_catalog), small_catalog,
+                              model="four_phase_pipelined", chunk_size=4096)
+        assert q12.finalize(result, small_catalog) == \
+            reference.q12(small_catalog)
+
+
+class TestParameters:
+    def test_q12_other_modes(self, small_catalog):
+        executor = make_executor()
+        graph = q12.build(small_catalog, modes=("AIR", "TRUCK"),
+                          date="1995-01-01")
+        result = executor.run(graph, small_catalog, model="chunked",
+                              chunk_size=4096)
+        assert q12.finalize(result, small_catalog) == \
+            reference.q12(small_catalog, modes=("AIR", "TRUCK"),
+                          date="1995-01-01")
+
+    def test_q14_other_month(self, small_catalog):
+        executor = make_executor()
+        graph = q14.build(small_catalog, date="1994-03-01")
+        result = executor.run(graph, small_catalog, model="chunked",
+                              chunk_size=4096)
+        assert q14.finalize(result, small_catalog) == pytest.approx(
+            reference.q14(small_catalog, date="1994-03-01"))
+
+    def test_q14_percentage_in_range(self, small_catalog):
+        value = reference.q14(small_catalog)
+        assert 0.0 <= value <= 100.0
+
+    def test_q12_counts_nonnegative(self, small_catalog):
+        for row in reference.q12(small_catalog):
+            assert row.high_line_count >= 0
+            assert row.low_line_count >= 0

@@ -1,0 +1,65 @@
+"""Tests for the hardware spec catalog (Table II and Figure 7 devices)."""
+
+import pytest
+
+from repro.hardware import (
+    ALL_GPUS,
+    CPU_I7_8700,
+    CPU_XEON_5220R,
+    FPGA_ALVEO_U250,
+    GIB,
+    GPU_A100,
+    GPU_RTX_2080_TI,
+    SETUPS,
+    DeviceKind,
+)
+
+
+class TestTableII:
+    def test_setup1(self):
+        assert SETUPS["setup1"]["cpu"] is CPU_I7_8700
+        assert SETUPS["setup1"]["gpu"] is GPU_RTX_2080_TI
+
+    def test_setup2(self):
+        assert SETUPS["setup2"]["cpu"] is CPU_XEON_5220R
+        assert SETUPS["setup2"]["gpu"] is GPU_A100
+
+    def test_evaluation_gpu_capacities(self):
+        # The capacities the paper's Figure 7 arguments rest on.
+        assert GPU_RTX_2080_TI.memory_bytes == 11 * GIB
+        assert GPU_A100.memory_bytes == 40 * GIB
+
+
+class TestLandscapeInvariants:
+    def test_all_gpus_are_gpus(self):
+        for spec in ALL_GPUS:
+            assert spec.kind is DeviceKind.GPU
+
+    def test_gpu_generations_monotone(self):
+        # Sorted by generation: capacity and bandwidth both increase.
+        capacities = [g.memory_bytes for g in ALL_GPUS]
+        bandwidths = [g.mem_bandwidth for g in ALL_GPUS]
+        assert capacities == sorted(capacities)
+        assert bandwidths == sorted(bandwidths)
+
+    def test_interconnect_below_internal_bandwidth(self):
+        # PCIe is always the bottleneck relative to device memory —
+        # the premise of the whole transfer-hiding exercise.
+        for spec in [*ALL_GPUS, FPGA_ALVEO_U250, CPU_I7_8700,
+                     CPU_XEON_5220R]:
+            assert spec.interconnect_bandwidth < spec.mem_bandwidth, \
+                spec.name
+
+    def test_positive_fields(self):
+        for spec in [*ALL_GPUS, FPGA_ALVEO_U250, CPU_I7_8700,
+                     CPU_XEON_5220R]:
+            assert spec.memory_bytes > 0
+            assert spec.compute_units > 0
+
+    def test_fpga_kind(self):
+        assert FPGA_ALVEO_U250.kind is DeviceKind.FPGA
+
+    def test_specs_hashable_and_frozen(self):
+        with pytest.raises(AttributeError):
+            GPU_A100.memory_bytes = 0
+        assert len({GPU_A100, GPU_RTX_2080_TI, GPU_A100}) == 2

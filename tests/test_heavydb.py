@@ -1,0 +1,115 @@
+"""Tests for the simulated HeavyDB baseline."""
+
+import math
+
+import pytest
+
+from repro.baselines import HeavyDBSimulator
+from repro.errors import DeviceMemoryError, WorkloadError
+from repro.hardware import GPU_A100, GPU_RTX_2080_TI
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return HeavyDBSimulator(GPU_A100)
+
+
+class TestMemoryModel:
+    def test_q3_oom_at_paper_scale_factors(self, sim):
+        """The paper's headline failure: Q3 cannot run at SF 100/120/140
+        because the dense-range hash table exceeds device memory."""
+        for sf in (100, 120, 140):
+            assert not sim.can_run(3, sf), sf
+            run = sim.run(3, sf, cold=False)
+            assert run.oom
+            assert math.isinf(run.seconds)
+
+    def test_q3_fits_at_smaller_scale(self, sim):
+        assert sim.can_run(3, 50)
+
+    def test_q4_q6_fit_at_paper_scale(self, sim):
+        for query in (4, 6):
+            for sf in (100, 120, 140):
+                assert sim.can_run(query, sf), (query, sf)
+
+    def test_resident_includes_hash_tables(self, sim):
+        from repro.tpch import sizes
+        assert sim.resident_bytes(3, 10) > sizes.query_input_bytes(3, 10)
+        assert sim.resident_bytes(4, 10) > sizes.query_input_bytes(4, 10)
+        assert sim.resident_bytes(6, 10) == sizes.query_input_bytes(6, 10)
+
+    def test_oom_raise(self, sim):
+        with pytest.raises(DeviceMemoryError):
+            sim.oom_raise(3, 100)
+        sim.oom_raise(6, 100)  # fits: no raise
+
+    def test_smaller_gpu_ooms_earlier(self):
+        small = HeavyDBSimulator(GPU_RTX_2080_TI)
+        assert not small.can_run(6, 140)  # 12.5 GiB > 11 GiB
+        assert HeavyDBSimulator(GPU_A100).can_run(6, 140)
+
+
+class TestTimingModel:
+    def test_cold_slower_than_hot(self, sim):
+        for query in (4, 6):
+            hot = sim.run(query, 100, cold=False)
+            cold = sim.run(query, 100, cold=True)
+            assert cold.seconds > hot.seconds
+            assert cold.transfer_seconds > 0
+            assert hot.transfer_seconds == 0
+
+    def test_time_grows_with_scale(self, sim):
+        assert sim.run(6, 140, cold=False).seconds > \
+            sim.run(6, 100, cold=False).seconds
+
+    def test_cold_includes_compile(self, sim):
+        from repro.hardware.calibration import HEAVYDB_COMPILE_SECONDS
+        hot = sim.run(6, 100, cold=False)
+        cold = sim.run(6, 100, cold=True)
+        assert cold.seconds - hot.seconds >= \
+            cold.transfer_seconds + HEAVYDB_COMPILE_SECONDS * 0.99
+
+    def test_unsupported_query(self, sim):
+        with pytest.raises(WorkloadError):
+            sim.run(1, 100, cold=False)
+
+    def test_run_record_fields(self, sim):
+        run = sim.run(6, 100, cold=True)
+        assert run.query == 6
+        assert run.scale_factor == 100
+        assert run.cold
+        assert not run.oom
+        assert run.resident_bytes > 0
+
+
+class TestPaperComparison:
+    """Section V-C: ADAMANT's models vs HeavyDB on the same GPU."""
+
+    @pytest.fixture(scope="class")
+    def adamant_times(self):
+        from repro.tpch import generate
+        from repro.tpch.queries import q6
+        from repro.devices import CudaDevice
+        from tests.conftest import make_executor
+        catalog = generate(0.05, seed=11)
+        executor = make_executor(CudaDevice, GPU_A100)
+        out = {}
+        for model in ("chunked", "four_phase_pipelined"):
+            result = executor.run(q6.build(), catalog, model=model,
+                                  chunk_size=2**25, data_scale=2048)
+            out[model] = result.stats.makespan
+        return out  # logical scale factor ~102
+
+    def test_hot_comparable_to_chunked(self, sim, adamant_times):
+        hot = sim.run(6, 102.4, cold=False).seconds
+        assert 0.5 < hot / adamant_times["chunked"] < 2.0
+
+    def test_adamant_beats_hot_by_about_2x(self, sim, adamant_times):
+        hot = sim.run(6, 102.4, cold=False).seconds
+        ratio = hot / adamant_times["four_phase_pipelined"]
+        assert 1.3 < ratio < 3.5
+
+    def test_adamant_beats_cold_by_more(self, sim, adamant_times):
+        cold = sim.run(6, 102.4, cold=True).seconds
+        ratio = cold / adamant_times["four_phase_pipelined"]
+        assert 2.5 < ratio < 8.0

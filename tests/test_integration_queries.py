@@ -1,0 +1,151 @@
+"""Integration matrix: every query x execution model x driver must match
+the pure-numpy oracle exactly — the repo's core correctness guarantee."""
+
+import pytest
+
+from repro.devices import CudaDevice, OpenCLDevice, OpenMPDevice
+from repro.hardware import CPU_I7_8700, GPU_RTX_2080_TI
+from repro.tpch import reference
+from repro.tpch.queries import q1, q3, q4, q6
+from tests.conftest import make_executor
+
+MODELS = ["oaat", "chunked", "pipelined", "four_phase_chunked",
+          "four_phase_pipelined"]
+
+DRIVERS = [
+    pytest.param(CudaDevice, GPU_RTX_2080_TI, id="cuda-gpu"),
+    pytest.param(OpenCLDevice, GPU_RTX_2080_TI, id="opencl-gpu"),
+    pytest.param(OpenCLDevice, CPU_I7_8700, id="opencl-cpu"),
+    pytest.param(OpenMPDevice, CPU_I7_8700, id="openmp-cpu"),
+]
+
+CHUNK = 4096
+
+
+@pytest.mark.parametrize("model", MODELS)
+@pytest.mark.parametrize("driver,spec", DRIVERS)
+class TestQueryMatrix:
+    def test_q1(self, small_catalog, model, driver, spec):
+        executor = make_executor(driver, spec)
+        result = executor.run(q1.build(), small_catalog, model=model,
+                              chunk_size=CHUNK)
+        assert q1.finalize(result, small_catalog) == \
+            reference.q1(small_catalog)
+
+    def test_q3(self, small_catalog, model, driver, spec):
+        executor = make_executor(driver, spec)
+        result = executor.run(q3.build(small_catalog), small_catalog,
+                              model=model, chunk_size=CHUNK)
+        assert q3.finalize(result, small_catalog) == \
+            reference.q3(small_catalog)
+
+    def test_q4(self, small_catalog, model, driver, spec):
+        executor = make_executor(driver, spec)
+        result = executor.run(q4.build(), small_catalog, model=model,
+                              chunk_size=CHUNK)
+        assert q4.finalize(result, small_catalog) == \
+            reference.q4(small_catalog)
+
+    def test_q6(self, small_catalog, model, driver, spec):
+        executor = make_executor(driver, spec)
+        result = executor.run(q6.build(), small_catalog, model=model,
+                              chunk_size=CHUNK)
+        assert q6.finalize(result, small_catalog) == \
+            reference.q6(small_catalog)
+
+
+class TestChunkSizeInvariance:
+    """Results are identical whatever the chunk size (Section IV-B)."""
+
+    @pytest.mark.parametrize("chunk", [32, 512, 4096, 1 << 20])
+    def test_q6_any_chunk_size(self, small_catalog, chunk):
+        executor = make_executor()
+        result = executor.run(q6.build(), small_catalog, model="chunked",
+                              chunk_size=chunk)
+        assert q6.finalize(result, small_catalog) == \
+            reference.q6(small_catalog)
+
+    @pytest.mark.parametrize("chunk", [512, 8192])
+    def test_q3_any_chunk_size(self, small_catalog, chunk):
+        executor = make_executor()
+        result = executor.run(q3.build(small_catalog), small_catalog,
+                              model="four_phase_pipelined", chunk_size=chunk)
+        assert q3.finalize(result, small_catalog) == \
+            reference.q3(small_catalog)
+
+
+class TestDataScaleInvariance:
+    """data_scale changes simulated time, never results."""
+
+    @pytest.mark.parametrize("scale", [1, 32, 1024])
+    def test_q6_results_stable(self, small_catalog, scale):
+        executor = make_executor()
+        result = executor.run(q6.build(), small_catalog, model="chunked",
+                              chunk_size=32 * scale, data_scale=scale)
+        assert q6.finalize(result, small_catalog) == \
+            reference.q6(small_catalog)
+
+    def test_makespan_grows_with_scale(self, small_catalog):
+        executor = make_executor()
+        fast = executor.run(q6.build(), small_catalog, model="chunked",
+                            chunk_size=4096, data_scale=1)
+        slow = executor.run(q6.build(), small_catalog, model="chunked",
+                            chunk_size=4096 * 64, data_scale=64)
+        assert slow.stats.makespan > fast.stats.makespan * 10
+
+
+class TestQueryParameters:
+    """Non-default query parameters flow through build() correctly."""
+
+    def test_q6_alternate_year(self, small_catalog):
+        executor = make_executor()
+        graph = q6.build(date="1995-01-01", discount=3, quantity=30)
+        result = executor.run(graph, small_catalog, model="chunked",
+                              chunk_size=4096)
+        expected = reference.q6(small_catalog, date="1995-01-01",
+                                discount=3, quantity=30)
+        assert q6.finalize(result, small_catalog) == expected
+
+    def test_q3_alternate_segment(self, small_catalog):
+        executor = make_executor()
+        graph = q3.build(small_catalog, segment="MACHINERY",
+                         date="1996-01-01")
+        result = executor.run(graph, small_catalog, model="chunked",
+                              chunk_size=4096)
+        expected = reference.q3(small_catalog, segment="MACHINERY",
+                                date="1996-01-01")
+        assert q3.finalize(result, small_catalog) == expected
+
+    def test_q4_alternate_quarter(self, small_catalog):
+        executor = make_executor()
+        graph = q4.build(date="1994-01-01")
+        result = executor.run(graph, small_catalog, model="chunked",
+                              chunk_size=4096)
+        assert q4.finalize(result, small_catalog) == \
+            reference.q4(small_catalog, date="1994-01-01")
+
+    def test_q1_alternate_delta(self, small_catalog):
+        executor = make_executor()
+        result = executor.run(q1.build(delta_days=60), small_catalog,
+                              model="chunked", chunk_size=4096)
+        assert q1.finalize(result, small_catalog) == \
+            reference.q1(small_catalog, delta_days=60)
+
+
+class TestLargerThanMemory:
+    """The paper's scalability claim: chunked models execute inputs that
+    exceed device memory; OAAT cannot."""
+
+    def test_oaat_fails_chunked_models_succeed(self, small_catalog):
+        from repro.errors import DeviceMemoryError
+        limit = 600 * 1024  # far below the ~2 MB lineitem input
+        failing = make_executor(memory_limit=limit)
+        with pytest.raises(DeviceMemoryError):
+            failing.run(q6.build(), small_catalog, model="oaat")
+        for model in ("chunked", "pipelined", "four_phase_chunked",
+                      "four_phase_pipelined"):
+            executor = make_executor(memory_limit=limit)
+            result = executor.run(q6.build(), small_catalog, model=model,
+                                  chunk_size=1024)
+            assert q6.finalize(result, small_catalog) == \
+                reference.q6(small_catalog), model

@@ -1,0 +1,157 @@
+"""Tests for the device memory manager."""
+
+import pytest
+
+from repro.devices.memory import MemoryManager
+from repro.errors import DeviceMemoryError, UnknownBufferError
+
+
+def make(capacity=1000):
+    return MemoryManager(capacity)
+
+
+class TestAllocation:
+    def test_basic_accounting(self):
+        memory = make()
+        memory.allocate("a", 400)
+        assert memory.device_used == 400
+        assert memory.device_free == 600
+        assert "a" in memory
+
+    def test_capacity_enforced(self):
+        memory = make(100)
+        memory.allocate("a", 80)
+        with pytest.raises(DeviceMemoryError) as excinfo:
+            memory.allocate("b", 30)
+        assert excinfo.value.requested == 30
+        assert excinfo.value.available == 20
+
+    def test_exact_fit_allowed(self):
+        memory = make(100)
+        memory.allocate("a", 100)
+        assert memory.device_free == 0
+
+    def test_duplicate_alias_rejected(self):
+        memory = make()
+        memory.allocate("a", 10)
+        with pytest.raises(DeviceMemoryError):
+            memory.allocate("a", 10)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(DeviceMemoryError):
+            make().allocate("a", -5)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(DeviceMemoryError):
+            MemoryManager(0)
+
+    def test_unknown_buffer(self):
+        with pytest.raises(UnknownBufferError):
+            make().get("ghost")
+
+
+class TestPinned:
+    def test_pinned_does_not_consume_device_memory(self):
+        memory = make(100)
+        memory.allocate("staging", 1_000_000, pinned=True)
+        assert memory.device_used == 0
+        assert memory.pinned_used == 1_000_000
+        memory.allocate("dev", 100)  # still fits
+
+    def test_pinned_freed(self):
+        memory = make()
+        memory.allocate("p", 50, pinned=True)
+        memory.free("p")
+        assert memory.pinned_used == 0
+
+
+class TestViews:
+    def test_view_consumes_nothing(self):
+        memory = make(100)
+        memory.allocate("parent", 100)
+        memory.add_view("chunk", "parent")
+        assert memory.device_used == 100
+
+    def test_view_of_missing_parent(self):
+        with pytest.raises(UnknownBufferError):
+            make().add_view("v", "ghost")
+
+    def test_parent_free_blocked_by_view(self):
+        memory = make()
+        memory.allocate("parent", 10)
+        memory.add_view("v", "parent")
+        with pytest.raises(DeviceMemoryError):
+            memory.free("parent")
+        memory.free("v")
+        memory.free("parent")
+        assert memory.device_used == 0
+
+    def test_view_duplicate_alias(self):
+        memory = make()
+        memory.allocate("a", 10)
+        with pytest.raises(DeviceMemoryError):
+            memory.add_view("a", "a")
+
+    def test_view_cannot_resize(self):
+        memory = make()
+        memory.allocate("parent", 10)
+        memory.add_view("v", "parent")
+        with pytest.raises(DeviceMemoryError):
+            memory.resize("v", 20)
+
+
+class TestResize:
+    def test_grow_and_shrink(self):
+        memory = make(100)
+        memory.allocate("a", 10)
+        memory.resize("a", 60)
+        assert memory.device_used == 60
+        memory.resize("a", 20)
+        assert memory.device_used == 20
+
+    def test_grow_beyond_capacity(self):
+        memory = make(100)
+        memory.allocate("a", 50)
+        memory.allocate("b", 40)
+        with pytest.raises(DeviceMemoryError):
+            memory.resize("a", 70)
+
+    def test_pinned_resize_unbounded(self):
+        memory = make(100)
+        memory.allocate("p", 10, pinned=True)
+        memory.resize("p", 10_000)
+        assert memory.pinned_used == 10_000
+
+
+class TestTracking:
+    def test_peak_tracks_high_water(self):
+        memory = make()
+        memory.allocate("a", 300)
+        memory.allocate("b", 400)
+        memory.free("a")
+        memory.allocate("c", 100)
+        assert memory.peak_device_used == 700
+        assert memory.device_used == 500
+
+    def test_footprint_trace_records_times(self):
+        memory = make()
+        memory.allocate("a", 100, at_time=1.0)
+        memory.free("a", at_time=2.0)
+        assert (1.0, 100) in memory.footprint_trace
+        assert (2.0, 0) in memory.footprint_trace
+
+    def test_free_all(self):
+        memory = make()
+        memory.allocate("a", 10)
+        memory.allocate("b", 20, pinned=True)
+        memory.add_view("v", "a")
+        memory.free_all()
+        assert memory.device_used == 0
+        assert memory.pinned_used == 0
+        assert memory.aliases() == []
+
+    def test_aliases_sorted(self):
+        memory = make()
+        memory.allocate("z", 1)
+        memory.allocate("a", 1)
+        assert memory.aliases() == ["a", "z"]

@@ -1,0 +1,96 @@
+"""Tests for pipeline splitting at breakers."""
+
+from repro.core.pipelines import split_pipelines
+from repro.tpch import generate
+from repro.tpch.queries import q1, q3, q4, q6
+
+
+class TestQ6Pipelines:
+    def test_single_pipeline(self):
+        pipelines = split_pipelines(q6.build())
+        assert len(pipelines) == 1
+        pipeline = pipelines[0]
+        assert pipeline.is_chunkable
+        assert set(pipeline.scan_refs) == {
+            "lineitem.l_shipdate", "lineitem.l_discount",
+            "lineitem.l_quantity", "lineitem.l_extendedprice",
+        }
+        assert pipeline.breaker_ids == ["sum_rev"]
+        assert pipeline.external_inputs == []
+
+
+class TestQ1Pipelines:
+    def test_one_pipeline_five_breakers(self):
+        pipelines = split_pipelines(q1.build())
+        assert len(pipelines) == 1
+        assert len(pipelines[0].breaker_ids) == 5
+
+
+class TestQ4Pipelines:
+    def test_two_pipelines_in_order(self):
+        pipelines = split_pipelines(q4.build())
+        assert len(pipelines) == 2
+        build, probe = pipelines
+        assert "build_late" in build.breaker_ids
+        assert "agg_prio" in probe.breaker_ids
+        # The probe pipeline consumes the build pipeline's table.
+        assert build.external_inputs == []
+        assert probe.external_inputs == ["build_late"]
+
+    def test_scan_separation(self):
+        build, probe = split_pipelines(q4.build())
+        assert all(ref.startswith("lineitem.") for ref in build.scan_refs)
+        assert all(ref.startswith("orders.") for ref in probe.scan_refs)
+
+
+class TestQ3Pipelines:
+    def test_three_pipelines_in_dependency_order(self):
+        catalog = generate(0.0005, seed=1)
+        pipelines = split_pipelines(q3.build(catalog))
+        assert len(pipelines) == 3
+        by_breaker = {p.breaker_ids[0]: p.index for p in pipelines}
+        assert by_breaker["build_cust"] < by_breaker["build_orders"]
+        assert by_breaker["build_orders"] < by_breaker["agg_rev"]
+
+    def test_external_inputs_cross_breakers_only(self):
+        catalog = generate(0.0005, seed=1)
+        pipelines = split_pipelines(q3.build(catalog))
+        graph = q3.build(catalog)
+        for pipeline in pipelines:
+            for ext in pipeline.external_inputs:
+                assert graph.nodes[ext].is_breaker
+
+    def test_nodes_partitioned_exactly_once(self):
+        catalog = generate(0.0005, seed=1)
+        graph = q3.build(catalog)
+        pipelines = split_pipelines(graph)
+        seen = [nid for p in pipelines for nid in p.node_ids]
+        assert sorted(seen) == sorted(graph.nodes)
+
+    def test_topological_within_pipeline(self):
+        catalog = generate(0.0005, seed=1)
+        graph = q3.build(catalog)
+        for pipeline in split_pipelines(graph):
+            position = {nid: i for i, nid in enumerate(pipeline.node_ids)}
+            for edge in graph.edges:
+                if edge.is_scan:
+                    continue
+                if edge.source in position and edge.target in position:
+                    assert position[edge.source] < position[edge.target]
+
+
+class TestBreakerOnlyPipeline:
+    def test_non_chunkable_pipeline(self):
+        # A graph whose second pipeline has no scans: agg over an agg.
+        from repro.core.graph import PrimitiveGraph
+        g = PrimitiveGraph()
+        g.add_node("a1", "hash_agg", params=dict(fn="sum"))
+        g.add_node("keys", "map", params=dict(op="identity"))
+        g.connect("t.k", "a1", 0)
+        g.connect("t.v", "a1", 1)
+        # consumes a breaker output only -> second pipeline, not chunkable
+        g.add_node("post", "join_side")
+        g.connect("a1", "post", 0)
+        pipelines = split_pipelines(g)
+        post = [p for p in pipelines if "post" in p.node_ids][0]
+        assert not post.is_chunkable

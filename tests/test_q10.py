@@ -1,0 +1,47 @@
+"""Tests for Q10 (returned item reporting)."""
+
+import pytest
+
+from repro.tpch import reference
+from repro.tpch.queries import q10
+from tests.conftest import make_executor
+
+MODELS = ["oaat", "chunked", "pipelined", "four_phase_chunked",
+          "four_phase_pipelined", "zero_copy"]
+
+
+@pytest.mark.parametrize("model", MODELS)
+class TestQ10Matrix:
+    def test_matches_oracle(self, small_catalog, model):
+        executor = make_executor()
+        result = executor.run(q10.build(small_catalog), small_catalog,
+                              model=model, chunk_size=2048)
+        assert q10.finalize(result, small_catalog) == \
+            reference.q10(small_catalog)
+
+
+class TestQ10Semantics:
+    def test_sorted_by_revenue(self, small_catalog):
+        rows = reference.q10(small_catalog)
+        revenues = [r.revenue for r in rows]
+        assert revenues == sorted(revenues, reverse=True)
+        assert len(rows) <= 20
+
+    def test_limit_parameter(self, small_catalog):
+        executor = make_executor()
+        result = executor.run(q10.build(small_catalog), small_catalog,
+                              model="chunked", chunk_size=2048)
+        assert q10.finalize(result, small_catalog, limit=3) == \
+            reference.q10(small_catalog, limit=3)
+
+    def test_alternate_quarter(self, small_catalog):
+        executor = make_executor()
+        graph = q10.build(small_catalog, date="1994-04-01")
+        result = executor.run(graph, small_catalog, model="chunked",
+                              chunk_size=2048)
+        assert q10.finalize(result, small_catalog) == \
+            reference.q10(small_catalog, date="1994-04-01")
+
+    def test_nation_names_resolved(self, small_catalog):
+        for row in reference.q10(small_catalog):
+            assert row.nation.startswith("NATION_")

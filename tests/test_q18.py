@@ -1,0 +1,81 @@
+"""Tests for Q18 (HAVING over grouped aggregates) and the group-table
+extraction primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipelines import split_pipelines
+from repro.errors import SignatureError
+from repro.primitives.kernels import group_keys, group_values, hash_agg
+from repro.tpch import reference
+from repro.tpch.queries import q18
+from tests.conftest import make_executor
+
+THRESHOLD = 220  # the generated distribution has rows above this
+
+MODELS = ["oaat", "chunked", "pipelined", "four_phase_chunked",
+          "four_phase_pipelined", "zero_copy"]
+
+
+class TestGroupExtraction:
+    def test_keys_and_values_aligned(self):
+        table = hash_agg(np.array([3, 1, 3]), np.array([10, 5, 20]),
+                         fn="sum")
+        keys = group_keys(table)
+        values = group_values(table, fn="sum")
+        assert list(keys) == [1, 3]
+        assert list(values) == [5, 30]
+
+    def test_missing_aggregate(self):
+        table = hash_agg(np.array([1]), fn="count")
+        with pytest.raises(SignatureError):
+            group_values(table, fn="sum")
+
+
+class TestQ18Structure:
+    def test_has_breaker_only_pipeline(self):
+        graph = q18.build()
+        pipelines = split_pipelines(graph)
+        assert len(pipelines) == 3
+        having = next(p for p in pipelines if "build_big" in p.breaker_ids)
+        assert not having.is_chunkable  # no scans: operates on a breaker
+        assert having.external_inputs == ["agg_qty"]
+
+
+@pytest.mark.parametrize("model", MODELS)
+class TestQ18Matrix:
+    def test_matches_oracle(self, small_catalog, model):
+        executor = make_executor()
+        result = executor.run(q18.build(quantity=THRESHOLD), small_catalog,
+                              model=model, chunk_size=2048)
+        assert q18.finalize(result, small_catalog) == \
+            reference.q18(small_catalog, quantity=THRESHOLD)
+
+
+class TestQ18Semantics:
+    def test_empty_result_at_spec_threshold(self, small_catalog):
+        # Generated quantity sums rarely exceed 300; both the oracle and
+        # the executor must agree on the (likely empty) answer.
+        executor = make_executor()
+        result = executor.run(q18.build(quantity=300), small_catalog,
+                              model="chunked", chunk_size=2048)
+        assert q18.finalize(result, small_catalog) == \
+            reference.q18(small_catalog, quantity=300)
+
+    def test_ordering_and_limit(self, small_catalog):
+        rows = reference.q18(small_catalog, quantity=THRESHOLD)
+        prices = [r.totalprice for r in rows]
+        assert prices == sorted(prices, reverse=True)
+        assert len(rows) <= 100
+
+    def test_all_rows_exceed_threshold(self, small_catalog):
+        for row in reference.q18(small_catalog, quantity=THRESHOLD):
+            assert row.sum_qty > THRESHOLD
+
+    def test_limit_parameter(self, small_catalog):
+        executor = make_executor()
+        result = executor.run(q18.build(quantity=THRESHOLD), small_catalog,
+                              model="chunked", chunk_size=2048)
+        top5 = q18.finalize(result, small_catalog, limit=5)
+        assert top5 == reference.q18(small_catalog, quantity=THRESHOLD,
+                                     limit=5)

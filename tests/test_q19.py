@@ -1,0 +1,74 @@
+"""Tests for Q19 (disjunctive clause predicates across a join)."""
+
+import numpy as np
+import pytest
+
+from repro.storage import DictionaryColumn
+from repro.tpch import reference
+from repro.tpch.queries import q19
+from repro.tpch.queries.q19 import _code_band
+from tests.conftest import make_executor
+
+MODELS = ["oaat", "chunked", "pipelined", "four_phase_chunked",
+          "four_phase_pipelined", "zero_copy"]
+
+
+class TestCodeBands:
+    def test_prefix_band_contiguous(self, small_catalog):
+        container = small_catalog.column("part.p_container")
+        assert isinstance(container, DictionaryColumn)
+        lo, hi = _code_band(container, "SM ")
+        names = container.dictionary[lo:hi + 1]
+        assert all(name.startswith("SM ") for name in names)
+        # nothing outside the band starts with the prefix
+        outside = container.dictionary[:lo] + container.dictionary[hi + 1:]
+        assert not any(name.startswith("SM ") for name in outside)
+
+    def test_unknown_prefix(self, small_catalog):
+        container = small_catalog.column("part.p_container")
+        with pytest.raises(ValueError):
+            _code_band(container, "XXL ")
+
+
+@pytest.mark.parametrize("model", MODELS)
+class TestQ19Matrix:
+    def test_matches_oracle(self, small_catalog, model):
+        executor = make_executor()
+        result = executor.run(q19.build(small_catalog), small_catalog,
+                              model=model, chunk_size=2048)
+        assert q19.finalize(result, small_catalog) == \
+            reference.q19(small_catalog)
+
+
+class TestQ19Semantics:
+    def test_oracle_counts_each_line_once(self, small_catalog):
+        # Clauses are brand-disjoint: summing per-clause revenues must
+        # equal the disjunction's revenue.
+        li = small_catalog.table("lineitem")
+        part = small_catalog.table("part")
+        brand = part.column("p_brand")
+        total = reference.q19(small_catalog)
+        per_clause = 0
+        for brand_name, prefix, lo, hi, size_hi in reference.Q19_CLAUSES:
+            container = part.column("p_container")
+            mask = (
+                (brand.values == brand.code_for(brand_name))
+                & np.fromiter((c.startswith(prefix)
+                               for c in container.decode()),
+                              bool, count=len(part))
+                & (part.column("p_size").values <= size_hi)
+                & (part.column("p_size").values >= 1)
+            )
+            keys = set(part.column("p_partkey").values[mask].tolist())
+            qty = li.column("l_quantity").values
+            sel = (np.fromiter((int(k) in keys
+                                for k in li.column("l_partkey").values),
+                               bool, count=len(li))
+                   & (qty >= lo) & (qty <= hi))
+            price = li.column("l_extendedprice").values[sel].astype(np.int64)
+            disc = li.column("l_discount").values[sel].astype(np.int64)
+            per_clause += int((price * (100 - disc)).sum())
+        assert per_clause == total
+
+    def test_revenue_positive_on_generated_data(self, small_catalog):
+        assert reference.q19(small_catalog) > 0

@@ -1,0 +1,97 @@
+"""Tests for the Q5 five-way-join plan."""
+
+import pytest
+
+from repro.core.pipelines import split_pipelines
+from repro.devices import OpenCLDevice, OpenMPDevice
+from repro.hardware import CPU_I7_8700, GPU_RTX_2080_TI
+from repro.tpch import reference
+from repro.tpch.queries import q5
+from tests.conftest import make_executor
+
+MODELS = ["oaat", "chunked", "pipelined", "four_phase_chunked",
+          "four_phase_pipelined", "zero_copy"]
+
+
+class TestQ5Structure:
+    def test_five_pipelines(self, small_catalog):
+        pipelines = split_pipelines(q5.build(small_catalog))
+        # region, nation, customer, orders, supplier, lineitem — the
+        # region and nation stages are separate pipelines (a breaker
+        # sits between them), so six groups in total.
+        assert len(pipelines) == 6
+
+    def test_dependency_order(self, small_catalog):
+        graph = q5.build(small_catalog)
+        pipelines = split_pipelines(graph)
+        index_of = {}
+        for pipeline in pipelines:
+            for breaker in pipeline.breaker_ids:
+                index_of[breaker] = pipeline.index
+        assert index_of["build_region"] < index_of["build_nation"]
+        assert index_of["build_nation"] < index_of["build_cust"]
+        assert index_of["build_cust"] < index_of["build_orders"]
+        assert index_of["build_orders"] < index_of["agg_rev"]
+
+    def test_lineitem_pipeline_chains_two_probes(self, small_catalog):
+        graph = q5.build(small_catalog)
+        pipelines = split_pipelines(graph)
+        lineitem = next(p for p in pipelines if "agg_rev" in p.breaker_ids)
+        probes = [nid for nid in lineitem.node_ids
+                  if graph.nodes[nid].primitive == "hash_probe"]
+        assert len(probes) == 2
+
+
+@pytest.mark.parametrize("model", MODELS)
+class TestQ5Matrix:
+    def test_matches_oracle(self, small_catalog, model):
+        executor = make_executor()
+        result = executor.run(q5.build(small_catalog), small_catalog,
+                              model=model, chunk_size=2048)
+        assert q5.finalize(result, small_catalog) == \
+            reference.q5(small_catalog)
+
+
+class TestQ5Variants:
+    @pytest.mark.parametrize("driver,spec", [
+        (OpenCLDevice, GPU_RTX_2080_TI),
+        (OpenMPDevice, CPU_I7_8700),
+    ])
+    def test_other_drivers(self, small_catalog, driver, spec):
+        executor = make_executor(driver, spec)
+        result = executor.run(q5.build(small_catalog), small_catalog,
+                              model="four_phase_pipelined", chunk_size=2048)
+        assert q5.finalize(result, small_catalog) == \
+            reference.q5(small_catalog)
+
+    def test_other_region_and_year(self, small_catalog):
+        executor = make_executor()
+        graph = q5.build(small_catalog, region="EUROPE", date="1996-01-01")
+        result = executor.run(graph, small_catalog, model="chunked",
+                              chunk_size=2048)
+        assert q5.finalize(result, small_catalog) == \
+            reference.q5(small_catalog, region="EUROPE", date="1996-01-01")
+
+    def test_revenue_sorted_descending(self, small_catalog):
+        rows = reference.q5(small_catalog)
+        revenues = [r.revenue for r in rows]
+        assert revenues == sorted(revenues, reverse=True)
+
+    def test_nations_within_region(self, small_catalog):
+        # Round-robin region assignment: ASIA is regionkey 1 (sorted
+        # dictionary order: AFRICA, AMERICA, ASIA, EUROPE, MIDDLE EAST
+        # maps to keys 0..4 in generation order).
+        rows = reference.q5(small_catalog)
+        assert 0 < len(rows) <= 5
+
+    def test_split_model(self, small_catalog):
+        from repro.core.executor import AdamantExecutor
+        from repro.devices import CudaDevice
+        from repro.hardware import CPU_XEON_5220R
+        executor = AdamantExecutor()
+        executor.plug_device("gpu", CudaDevice, GPU_RTX_2080_TI)
+        executor.plug_device("cpu", OpenMPDevice, CPU_XEON_5220R)
+        result = executor.run(q5.build(small_catalog), small_catalog,
+                              model="split_chunked", chunk_size=2048)
+        assert q5.finalize(result, small_catalog) == \
+            reference.q5(small_catalog)

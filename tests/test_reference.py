@@ -1,0 +1,139 @@
+"""Sanity tests for the pure-numpy TPC-H oracles."""
+
+import numpy as np
+import pytest
+
+from repro.storage import Catalog, Column, DictionaryColumn, Table, date_to_int
+from repro.tpch import generate, reference
+from repro.tpch.reference import _add_months
+
+
+class TestAddMonths:
+    def test_within_year(self):
+        assert _add_months("1993-07-01", 3) == "1993-10-01"
+
+    def test_year_rollover(self):
+        assert _add_months("1994-11-01", 3) == "1995-02-01"
+
+    def test_full_year(self):
+        assert _add_months("1994-01-01", 12) == "1995-01-01"
+
+
+def _mini_catalog():
+    """A hand-checkable catalog: 4 lineitems, 3 orders, 2 customers."""
+    catalog = Catalog()
+    catalog.add(Table("customer", [
+        Column("c_custkey", np.array([1, 2], dtype=np.int64)),
+        DictionaryColumn("c_mktsegment", np.array([0, 1], dtype=np.int32),
+                         dictionary=["AUTOMOBILE", "BUILDING"]),
+    ]))
+    d = date_to_int
+    catalog.add(Table("orders", [
+        Column("o_orderkey", np.array([10, 20, 30], dtype=np.int64)),
+        Column("o_custkey", np.array([2, 2, 1], dtype=np.int64)),
+        Column("o_orderdate", np.array(
+            [d("1995-03-01"), d("1995-04-01"), d("1995-03-01")],
+            dtype=np.int32)),
+        DictionaryColumn("o_orderpriority",
+                         np.array([0, 1, 0], dtype=np.int32),
+                         dictionary=["1-URGENT", "2-HIGH"]),
+        Column("o_shippriority", np.zeros(3, dtype=np.int32)),
+    ]))
+    catalog.add(Table("lineitem", [
+        Column("l_orderkey", np.array([10, 10, 20, 30], dtype=np.int64)),
+        Column("l_quantity", np.array([5, 40, 10, 10], dtype=np.int32)),
+        Column("l_extendedprice",
+               np.array([1000, 2000, 3000, 4000], dtype=np.int64)),
+        Column("l_discount", np.array([6, 6, 6, 2], dtype=np.int32)),
+        Column("l_tax", np.array([1, 2, 3, 4], dtype=np.int32)),
+        Column("l_shipdate", np.array(
+            [d("1995-04-01"), d("1994-06-01"), d("1995-04-02"),
+             d("1995-03-20")], dtype=np.int32)),
+        Column("l_commitdate", np.array(
+            [d("1995-03-10")] * 4, dtype=np.int32)),
+        Column("l_receiptdate", np.array(
+            [d("1995-03-20"), d("1995-03-05"), d("1995-03-20"),
+             d("1995-03-05")], dtype=np.int32)),
+        DictionaryColumn("l_returnflag", np.zeros(4, dtype=np.int32),
+                         dictionary=["N"]),
+        DictionaryColumn("l_linestatus", np.zeros(4, dtype=np.int32),
+                         dictionary=["F"]),
+    ]))
+    return catalog
+
+
+class TestQ6ByHand:
+    def test_exact_value(self):
+        # 1994 shipdate + discount 5..7 + qty < 24: only row 1 fails qty?
+        # row0: 1995 -> out; row1: 1994, disc 6, qty 40 -> out (qty);
+        # rows 2,3: 1995 -> out.  Revenue = 0.
+        assert reference.q6(_mini_catalog()) == 0
+
+    def test_wider_quantity_includes_row(self):
+        # Raising the quantity bound to 50 admits row1: 2000 * 6.
+        assert reference.q6(_mini_catalog(), quantity=50) == 12000
+
+    def test_year_window_excludes_next_year(self):
+        assert reference.q6(_mini_catalog(), date="1995-01-01",
+                            quantity=50) == 1000 * 6 + 3000 * 6
+
+
+class TestQ3ByHand:
+    def test_building_customer_orders(self):
+        # BUILDING customer is custkey 2 with orders 10 and 20.
+        # Cutoff 1995-03-15: order 10 qualifies (03-01), order 20 (04-01)
+        # does not.  Lineitems of order 10 shipped after cutoff: row 0
+        # (04-01) qualifies; row 1 (1994) does not.
+        rows = reference.q3(_mini_catalog())
+        assert len(rows) == 1
+        assert rows[0].orderkey == 10
+        assert rows[0].revenue == 1000 * (100 - 6)
+
+    def test_limit_respected(self):
+        assert reference.q3(_mini_catalog(), limit=0) == []
+
+
+class TestQ4ByHand:
+    def test_counts_per_priority(self):
+        # Quarter 1995-03-01..: use 1995-01-01 start to catch orders 10, 30
+        # (both 1995-03-01).  Late lineitems: commit < receipt ->
+        # rows 0 (03-10 < 03-20) and 2 (03-10 < 03-20) => orders 10, 20.
+        # Order 30's lineitem (row 3) has receipt 03-05 < commit: not late.
+        rows = reference.q4(_mini_catalog(), date="1995-01-01")
+        assert rows == [reference.Q4Row("1-URGENT", 1)]
+
+
+class TestGeneratedOracles:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return generate(0.005, seed=3)
+
+    def test_q1_has_expected_groups(self, catalog):
+        result = reference.q1(catalog)
+        # 3 return flags x 2 line statuses.
+        assert len(result) == 6
+        total = sum(g["count"] for g in result.values())
+        cutoff = date_to_int("1998-12-01") - 90
+        expected = int((catalog.column("lineitem.l_shipdate").values
+                        <= cutoff).sum())
+        assert total == expected
+
+    def test_q1_disc_price_below_base_price(self, catalog):
+        for group in reference.q1(catalog).values():
+            assert group["sum_disc_price"] <= group["sum_base_price"] * 100
+            assert group["sum_charge"] >= group["sum_disc_price"] * 100
+
+    def test_q3_sorted_by_revenue(self, catalog):
+        rows = reference.q3(catalog)
+        revenues = [r.revenue for r in rows]
+        assert revenues == sorted(revenues, reverse=True)
+        assert len(rows) <= 10
+
+    def test_q4_priorities_sorted_and_positive(self, catalog):
+        rows = reference.q4(catalog)
+        names = [r.orderpriority for r in rows]
+        assert names == sorted(names)
+        assert all(r.order_count > 0 for r in rows)
+
+    def test_q6_positive(self, catalog):
+        assert reference.q6(catalog) > 0

@@ -1,0 +1,113 @@
+"""Analytic checks of the execution models' simulated makespans.
+
+For a minimal two-primitive pipeline with controlled sizes, the models'
+makespans must match the closed-form schedules of Figure 6:
+
+* chunked:    K * (T + C)            (strict alternation, Algorithm 1)
+* pipelined:  K * T + C              (transfer-bound steady state)
+* 4-phase:    K * (T_pinned + C)     (serialized, faster transfers)
+
+where K = chunk count, T = per-chunk transfer time and C = per-chunk
+compute time.  Fixed overheads (allocations, launches, DMA setup) are
+small at the scale used and absorbed by the tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import PrimitiveGraph
+from repro.hardware import GPU_RTX_2080_TI, Sdk
+from repro.hardware.costmodel import CostModel
+from repro.storage import Catalog, Column, Table
+from tests.conftest import make_executor
+
+ROWS = 2**16
+CHUNK = 2**13
+SCALE = 2**10  # logical rows per physical row
+K = ROWS // CHUNK  # 8 chunks
+MODEL = CostModel(GPU_RTX_2080_TI, Sdk.CUDA)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    catalog = Catalog()
+    catalog.add(Table("t", [
+        Column("a", np.arange(ROWS, dtype=np.int64)),
+    ]))
+    return catalog
+
+
+def pipeline_graph():
+    g = PrimitiveGraph("sched")
+    g.add_node("m", "map", params=dict(op="add_const", const=1))
+    g.add_node("s", "agg_block", params=dict(fn="sum"))
+    g.connect("t.a", "m", 0)
+    g.connect("m", "s", 0)
+    g.mark_output("s")
+    return g
+
+
+def analytic_times():
+    logical_chunk = CHUNK * SCALE
+    chunk_bytes = logical_chunk * 8  # int64 column
+    transfer_pageable = MODEL.transfer_seconds(chunk_bytes, pinned=False)
+    transfer_pinned = MODEL.transfer_seconds(chunk_bytes, pinned=True)
+    compute = (MODEL.kernel_seconds("map", logical_chunk)
+               + MODEL.kernel_seconds("agg_block", logical_chunk))
+    return transfer_pageable, transfer_pinned, compute
+
+
+def run(catalog, model):
+    executor = make_executor()
+    result = executor.run(pipeline_graph(), catalog, model=model,
+                          chunk_size=CHUNK * SCALE, data_scale=SCALE)
+    assert int(result.output("s")[0]) == ROWS + (ROWS - 1) * ROWS // 2
+    return result.stats.makespan
+
+
+class TestClosedForms:
+    def test_chunked_is_strict_alternation(self, catalog):
+        t, _, c = analytic_times()
+        measured = run(catalog, "chunked")
+        assert measured == pytest.approx(K * (t + c), rel=0.05)
+
+    def test_pipelined_hides_compute(self, catalog):
+        t, _, c = analytic_times()
+        measured = run(catalog, "pipelined")
+        # transfer-bound steady state: all transfers back to back, the
+        # last chunk's compute spilling past the final transfer.
+        assert t > c  # precondition of the formula
+        assert measured == pytest.approx(K * t + c, rel=0.05)
+
+    def test_four_phase_chunked_swaps_in_pinned_rate(self, catalog):
+        t, t_pinned, c = analytic_times()
+        measured = run(catalog, "four_phase_chunked")
+        assert measured == pytest.approx(K * (t_pinned + c), rel=0.05)
+        assert measured < run(catalog, "chunked")
+
+    def test_four_phase_pipelined(self, catalog):
+        _, t_pinned, c = analytic_times()
+        measured = run(catalog, "four_phase_pipelined")
+        assert measured == pytest.approx(K * t_pinned + c, rel=0.05)
+
+    def test_model_ordering_at_transfer_bound(self, catalog):
+        times = {model: run(catalog, model)
+                 for model in ("chunked", "pipelined",
+                               "four_phase_chunked",
+                               "four_phase_pipelined")}
+        assert times["four_phase_pipelined"] <= times["four_phase_chunked"]
+        assert times["four_phase_chunked"] < times["chunked"]
+        assert times["pipelined"] < times["chunked"]
+
+    def test_pipelined_gain_equals_hidden_compute(self, catalog):
+        # chunked - pipelined == (K-1) * C: the compute hidden under
+        # transfers (all but the trailing chunk's).
+        t, _, c = analytic_times()
+        gain = run(catalog, "chunked") - run(catalog, "pipelined")
+        assert gain == pytest.approx((K - 1) * c, rel=0.1)
+
+    def test_oaat_single_transfer(self, catalog):
+        t, _, c = analytic_times()
+        measured = run(catalog, "oaat")
+        # One full-column transfer + one full-column compute.
+        assert measured == pytest.approx(K * t + K * c, rel=0.05)

@@ -1,0 +1,94 @@
+"""Tests for query-input-footprint accounting (Figure 7, left)."""
+
+import pytest
+
+from repro.hardware import ALL_GPUS, GIB, GPU_A100, GPU_RTX_2080_TI
+from repro.tpch import sizes
+from repro.tpch.schema import COLUMN_WIDTH_BYTES, TPCH_TABLES, table_rows
+
+
+class TestTableSchema:
+    def test_lineitem_rows_scale(self):
+        assert table_rows("lineitem", 1) == 6_000_000
+        assert table_rows("lineitem", 100) == 600_000_000
+        assert table_rows("lineitem", 0.5) == 3_000_000
+
+    def test_dimension_tables_ignore_sf(self):
+        assert table_rows("nation", 100) == 25
+        assert table_rows("region", 0.001) == 5
+
+    def test_bytes_per_row(self):
+        lineitem = TPCH_TABLES["lineitem"]
+        assert lineitem.bytes_per_row() == \
+            COLUMN_WIDTH_BYTES * len(lineitem.columns)
+
+    def test_every_table_has_columns(self):
+        for spec in TPCH_TABLES.values():
+            assert spec.columns
+            names = [c.name for c in spec.columns]
+            assert len(set(names)) == len(names)
+
+
+class TestQueryFootprints:
+    def test_q6_footprint(self):
+        # 4 lineitem columns * 6M rows/SF * 4 B.
+        assert sizes.query_input_bytes(6, 1) == 4 * 6_000_000 * 4
+        assert sizes.query_input_bytes(6, 100) == 4 * 600_000_000 * 4
+
+    def test_q1_larger_than_q6(self):
+        assert sizes.query_input_bytes(1, 10) > sizes.query_input_bytes(6, 10)
+
+    def test_q3_spans_three_tables(self):
+        q3 = sizes.query_input_bytes(3, 1)
+        li_part = 4 * 6_000_000 * 4
+        assert q3 > li_part  # more than its lineitem share alone
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(KeyError):
+            sizes.query_input_bytes(2, 1)
+
+    def test_all_declared_columns_exist(self):
+        for query in sizes.QUERY_INPUT_COLUMNS:
+            sizes.query_input_bytes(query, 1)  # raises on bad columns
+
+    def test_dataset_exceeds_any_query(self):
+        total = sizes.dataset_bytes(10)
+        for query in sizes.QUERY_INPUT_COLUMNS:
+            assert sizes.query_input_bytes(query, 10) < total
+
+
+class TestFigure7Left:
+    """The paper's observation: only some query inputs fit on a GPU, and
+    the complete dataset does not."""
+
+    def test_q6_fits_2080ti_at_sf100(self):
+        assert sizes.query_input_bytes(6, 100) < GPU_RTX_2080_TI.memory_bytes
+
+    def test_q3_does_not_fit_2080ti_at_sf100(self):
+        assert sizes.query_input_bytes(3, 100) > GPU_RTX_2080_TI.memory_bytes
+
+    def test_complete_dataset_never_fits_at_sf140(self):
+        # At the paper's largest evaluated scale factor even the A100's
+        # 40 GB cannot hold the complete encoded dataset.
+        total = sizes.dataset_bytes(140)
+        for gpu in ALL_GPUS:
+            assert total > gpu.memory_bytes, gpu.name
+
+    def test_bigger_gpu_fits_more_queries(self):
+        small = sizes.queries_fitting_in(GPU_RTX_2080_TI.memory_bytes, 100)
+        large = sizes.queries_fitting_in(GPU_A100.memory_bytes, 100)
+        assert set(small) <= set(large)
+        assert len(large) > len(small)
+
+    def test_everything_fits_at_tiny_scale(self):
+        fitting = sizes.queries_fitting_in(GPU_RTX_2080_TI.memory_bytes, 0.1)
+        assert fitting == sorted(sizes.QUERY_INPUT_COLUMNS)
+
+    def test_dataset_scales_linearly(self):
+        assert sizes.dataset_bytes(100) == pytest.approx(
+            100 * sizes.dataset_bytes(1), rel=0.01)
+
+    def test_sf100_dataset_is_tens_of_gib(self):
+        # Sanity anchor: the encoded SF-100 dataset lands in the tens of
+        # GiB (the paper's Figure 7-left bar).
+        assert 20 * GIB < sizes.dataset_bytes(100) < 60 * GIB

@@ -1,0 +1,88 @@
+"""Tests for catalog persistence (save/load roundtrips)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import (
+    Catalog,
+    Column,
+    DictionaryColumn,
+    Table,
+    load_catalog,
+    save_catalog,
+)
+from repro.tpch import generate, reference
+
+
+class TestRoundtrip:
+    def test_plain_columns(self, tmp_path):
+        catalog = Catalog()
+        catalog.add(Table("t", [
+            Column("a", np.arange(100, dtype=np.int64)),
+            Column("b", np.arange(100, dtype=np.int32) * 2),
+        ]))
+        path = tmp_path / "db.npz"
+        save_catalog(catalog, path)
+        loaded = load_catalog(path)
+        assert loaded.table("t").column_names == ["a", "b"]
+        assert np.array_equal(loaded.column("t.a").values,
+                              catalog.column("t.a").values)
+        assert loaded.column("t.b").dtype == np.int32
+
+    def test_dictionary_columns(self, tmp_path):
+        catalog = Catalog()
+        catalog.add(Table("t", [
+            DictionaryColumn.from_strings("s", ["x", "y", "x", "z"]),
+        ]))
+        save_catalog(catalog, tmp_path / "db.npz")
+        loaded = load_catalog(tmp_path / "db.npz")
+        column = loaded.column("t.s")
+        assert isinstance(column, DictionaryColumn)
+        assert column.decode() == ["x", "y", "x", "z"]
+        assert column.code_for("z") == 2
+
+    def test_full_tpch_roundtrip(self, tmp_path):
+        catalog = generate(0.002, seed=9)
+        save_catalog(catalog, tmp_path / "tpch.npz")
+        loaded = load_catalog(tmp_path / "tpch.npz")
+        assert sorted(loaded.tables) == sorted(catalog.tables)
+        # The oracles agree on the reloaded data - full fidelity.
+        assert reference.q6(loaded) == reference.q6(catalog)
+        assert reference.q3(loaded) == reference.q3(catalog)
+        assert reference.q1(loaded) == reference.q1(catalog)
+
+    def test_executor_runs_on_loaded_catalog(self, tmp_path):
+        from repro.tpch.queries import q6
+        from tests.conftest import make_executor
+        catalog = generate(0.002, seed=9)
+        save_catalog(catalog, tmp_path / "tpch.npz")
+        loaded = load_catalog(tmp_path / "tpch.npz")
+        executor = make_executor()
+        result = executor.run(q6.build(), loaded, model="chunked",
+                              chunk_size=1024)
+        assert q6.finalize(result, loaded) == reference.q6(catalog)
+
+    def test_suffix_added_on_load(self, tmp_path):
+        catalog = Catalog()
+        catalog.add(Table("t", [Column("a", np.arange(3))]))
+        save_catalog(catalog, tmp_path / "db")  # savez appends .npz
+        loaded = load_catalog(tmp_path / "db")
+        assert loaded.table("t").num_rows == 3
+
+    def test_empty_catalog(self, tmp_path):
+        save_catalog(Catalog(), tmp_path / "empty.npz")
+        loaded = load_catalog(tmp_path / "empty.npz")
+        assert loaded.tables == {}
+
+
+class TestErrors:
+    def test_not_a_catalog_archive(self, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, x=np.arange(3))
+        with pytest.raises(StorageError):
+            load_catalog(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_catalog(tmp_path / "nope.npz")

@@ -1,0 +1,104 @@
+"""Tests for per-node kernel-variant pinning (mixed-SDK plans).
+
+Section III-B2: "with our I/O semantics we can freely combine
+implementations of primitives from different wrappers together: like an
+OpenCL implementation of arithmetic followed by a reduce implemented
+using CUDA for a single device."
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import PrimitiveGraph
+from repro.errors import NoImplementationError
+from repro.primitives.kernels import agg_block, map_kernel
+from repro.storage import Catalog, Column, Table
+from repro.task import KernelContainer, TaskRegistry
+from tests.conftest import make_executor
+
+
+@pytest.fixture()
+def catalog():
+    catalog = Catalog()
+    catalog.add(Table("t", [
+        Column("a", np.arange(100, dtype=np.int64)),
+    ]))
+    return catalog
+
+
+def mixed_graph():
+    g = PrimitiveGraph("mixed")
+    g.add_node("arith", "map", params=dict(op="mul_const", const=3),
+               variant="opencl")
+    g.add_node("reduce", "agg_block", params=dict(fn="sum"),
+               variant="cuda")
+    g.connect("t.a", "arith", 0)
+    g.connect("arith", "reduce", 0)
+    g.mark_output("reduce")
+    return g
+
+
+class TestVariantPinning:
+    def test_pinned_variants_execute(self, catalog):
+        calls = []
+
+        def spy(variant, fn):
+            def wrapped(*args, **kwargs):
+                calls.append(variant)
+                return fn(*args, **kwargs)
+            return wrapped
+
+        executor = make_executor()
+        executor.registry.register(KernelContainer(
+            "map", "opencl", spy("opencl-map", map_kernel), num_args=3))
+        executor.registry.register(KernelContainer(
+            "agg_block", "cuda", spy("cuda-reduce", agg_block), num_args=2))
+
+        result = executor.run(mixed_graph(), catalog, model="oaat")
+        assert int(result.output("reduce")[0]) == 3 * sum(range(100))
+        assert calls == ["opencl-map", "cuda-reduce"]
+
+    def test_unpinned_nodes_use_device_variant(self, catalog):
+        executor = make_executor()  # CUDA device
+        used = []
+
+        def spy(*args, **kwargs):
+            used.append(True)
+            return map_kernel(*args, **kwargs)
+
+        executor.registry.register(KernelContainer("map", "cuda", spy,
+                                                   num_args=3))
+        g = PrimitiveGraph("plain")
+        g.add_node("m", "map", params=dict(op="identity"))
+        g.add_node("s", "agg_block", params=dict(fn="sum"))
+        g.connect("t.a", "m", 0)
+        g.connect("m", "s", 0)
+        g.mark_output("s")
+        executor.run(g, catalog, model="oaat")
+        assert used
+
+    def test_pinned_variant_falls_back_to_reference(self, catalog):
+        # Pinning a variant nobody registered still works through the
+        # reference fallback (the registry's resolution order).
+        executor = make_executor()
+        result = executor.run(mixed_graph(), catalog, model="oaat")
+        assert int(result.output("reduce")[0]) == 3 * sum(range(100))
+
+    def test_pinned_variant_without_any_implementation(self, catalog):
+        executor = make_executor()
+        registry = TaskRegistry()  # empty: no reference fallback
+        executor.registry = registry
+        with pytest.raises(NoImplementationError):
+            executor.run(mixed_graph(), catalog, model="oaat")
+
+    def test_chunked_execution_respects_pinning(self, catalog):
+        calls = []
+        executor = make_executor()
+        executor.registry.register(KernelContainer(
+            "map", "opencl",
+            lambda *a, **k: (calls.append(1), map_kernel(*a, **k))[1],
+            num_args=3))
+        result = executor.run(mixed_graph(), catalog, model="chunked",
+                              chunk_size=32)
+        assert int(result.output("reduce")[0]) == 3 * sum(range(100))
+        assert len(calls) == (100 + 31) // 32
