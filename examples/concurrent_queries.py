@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Two TPC-H queries sharing one GPU through the multi-query engine.
+
+The single-shot :class:`~repro.AdamantExecutor` resets the device between
+runs, so every query pays its base-table transfers from scratch.  The
+:class:`~repro.Engine` keeps devices alive across queries instead:
+
+1. Q6 and Q3 are admitted together and their pipelines are *interleaved*
+   on the shared GPU by the device scheduler — the batch finishes in less
+   simulated time than running them back to back;
+2. the lineitem columns the first batch streamed in stay *resident* on
+   the device, so a warm second batch serves its scans from device
+   memory (event category ``cache``) instead of the PCIe bus.
+
+Both effects are visible in the per-query statistics printed below.
+"""
+
+from repro import AdamantExecutor, Engine, QueryRequest
+from repro.devices import CudaDevice
+from repro.hardware import GPU_RTX_2080_TI
+from repro.tpch import generate, reference
+from repro.tpch.queries import q3, q6
+
+CHUNK = 2048
+
+
+def batch(catalog) -> list[QueryRequest]:
+    """Fresh graph instances per submission (graphs carry edge state)."""
+    return [
+        QueryRequest(graph=q6.build(), catalog=catalog,
+                     chunk_size=CHUNK, label="q6"),
+        QueryRequest(graph=q3.build(catalog), catalog=catalog,
+                     chunk_size=CHUNK, label="q3"),
+    ]
+
+
+def main() -> None:
+    catalog = generate(0.005, seed=42)
+    oracles = {"q6": reference.q6(catalog), "q3": reference.q3(catalog)}
+
+    # Baseline: the single-shot executor, one query after the other.
+    executor = AdamantExecutor()
+    executor.plug_device("gpu0", CudaDevice, GPU_RTX_2080_TI)
+    sequential = [
+        executor.run(request.graph, catalog, chunk_size=CHUNK)
+        for request in batch(catalog)
+    ]
+    sequential_total = sum(r.stats.makespan for r in sequential)
+
+    # Engine: same queries, same GPU, shared timeline + residency cache.
+    engine = Engine()
+    engine.plug_device("gpu0", CudaDevice, GPU_RTX_2080_TI)
+
+    print("round  query  ok     makespan   h2d bytes  cache hits")
+    for round_name in ("cold", "warm"):
+        results = engine.run_concurrent(batch(catalog))
+        for request, result in zip(batch(catalog), results):
+            module = q6 if request.label == "q6" else q3
+            answer = module.finalize(result, catalog)
+            ok = answer == oracles[request.label]
+            print(f"{round_name:5s}  {request.label:5s}  ok={ok}  "
+                  f"{result.stats.makespan:9.6f}  "
+                  f"{result.stats.transfer_bytes:10d}  "
+                  f"{result.stats.residency_hits:10d}")
+        if round_name == "cold":
+            combined = max(r.stats.makespan for r in results)
+            print(f"combined makespan {combined:.6f} s vs "
+                  f"{sequential_total:.6f} s sequential "
+                  f"(ok={combined <= sequential_total})")
+
+    stats = engine.residency_stats()["gpu0"]
+    print(f"residency cache: {stats['complete']} columns resident, "
+          f"{stats['hits']} hits, {stats['misses']} misses, "
+          f"{stats['resident_bytes']} bytes on device")
+
+
+if __name__ == "__main__":
+    main()

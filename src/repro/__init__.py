@@ -4,6 +4,8 @@ co-processor integration (Gurumurthy et al., ICDE 2023).
 Public API tour:
 
 * :class:`repro.AdamantExecutor` — plug devices, run primitive graphs.
+* :class:`repro.Engine` — long-lived multi-query serving: sessions,
+  shared-device scheduling, cross-query data residency.
 * :mod:`repro.devices` — the ten-interface device layer and the simulated
   OpenCL / CUDA / OpenMP drivers.
 * :mod:`repro.primitives` — Table I primitive definitions, value types and
@@ -15,6 +17,7 @@ Public API tour:
 
 from repro.core.executor import DEFAULT_CHUNK_SIZE, AdamantExecutor
 from repro.core.graph import PrimitiveGraph, ScanSource
+from repro.engine import Engine, QueryRequest, QuerySession
 from repro.errors import AdamantError
 
 __version__ = "1.0.0"
@@ -22,7 +25,10 @@ __version__ = "1.0.0"
 __all__ = [
     "AdamantExecutor",
     "DEFAULT_CHUNK_SIZE",
+    "Engine",
     "PrimitiveGraph",
+    "QueryRequest",
+    "QuerySession",
     "ScanSource",
     "AdamantError",
     "__version__",

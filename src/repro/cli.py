@@ -81,6 +81,27 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--seed", type=int, default=42)
     validate.add_argument("--chunk-size", type=int, default=2048)
 
+    concurrent = sub.add_parser(
+        "concurrent",
+        help="run several queries interleaved on one shared device "
+             "(engine mode, with cross-query data residency)")
+    concurrent.add_argument("--queries", default="q3,q4,q6",
+                            help="comma-separated query list "
+                                 "(default q3,q4,q6)")
+    concurrent.add_argument("--sf", type=float, default=0.01)
+    concurrent.add_argument("--seed", type=int, default=42)
+    concurrent.add_argument("--driver", choices=sorted(DRIVERS),
+                            default="cuda")
+    concurrent.add_argument("--spec", choices=sorted(SPECS), default=None)
+    concurrent.add_argument("--model", choices=sorted(MODELS),
+                            default="chunked")
+    concurrent.add_argument("--chunk-size", type=int, default=2048)
+    concurrent.add_argument("--data-scale", type=int, default=1)
+    concurrent.add_argument("--memory-limit", type=int, default=None)
+    concurrent.add_argument("--rounds", type=int, default=2,
+                            help="repeat the batch to show the residency "
+                                 "cache warming up (default 2)")
+
     for name, help_text in (("run", "run one query under one model"),
                             ("compare", "run one query under all models")):
         cmd = sub.add_parser(name, help=help_text)
@@ -273,11 +294,65 @@ def cmd_compare(args) -> int:
     return status
 
 
+def cmd_concurrent(args) -> int:
+    """Interleave a query batch on one shared device (engine mode)."""
+    from repro.engine import Engine, QueryRequest
+
+    catalog = generate(args.sf, seed=args.seed)
+    driver, kind = DRIVERS[args.driver]
+    spec = SPECS[args.spec] if args.spec else (
+        GPU_RTX_2080_TI if kind == "GPU" else CPU_I7_8700)
+    engine = Engine()
+    engine.plug_device("dev0", driver, spec,
+                       memory_limit=args.memory_limit)
+    names = [name.strip() for name in args.queries.split(",") if name.strip()]
+    if not names:
+        print("no queries given (expected e.g. --queries q3,q4,q6)",
+              file=sys.stderr)
+        return 2
+    unknown = [name for name in names if name not in QUERIES]
+    if unknown:
+        print(f"unknown queries: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    def batch():
+        return [QueryRequest(
+            graph=(QUERIES[name].build(catalog)
+                   if name in ("q3", "q5", "q10", "q12", "q14", "q19")
+                   else QUERIES[name].build()),
+            catalog=catalog, model=args.model, chunk_size=args.chunk_size,
+            data_scale=args.data_scale, label=name,
+        ) for name in names]
+
+    status = 0
+    for round_no in range(1, max(1, args.rounds) + 1):
+        results = engine.run_concurrent(batch())
+        combined = max(r.stats.makespan for r in results)
+        print(f"round {round_no}: combined makespan {combined:.6f} s")
+        print(f"  {'query':6s} {'ok':4s} {'makespan':>12s} "
+              f"{'transfer':>12s} {'cache hits':>11s}")
+        for name, result in zip(names, results):
+            answer = QUERIES[name].finalize(result, catalog)
+            expected = _oracle_for(name, catalog)
+            ok = (abs(answer - expected) < 1e-9
+                  if isinstance(answer, float) else answer == expected)
+            status |= 0 if ok else 1
+            print(f"  {name:6s} {str(ok):4s} "
+                  f"{result.stats.makespan:>10.6f} s "
+                  f"{result.stats.transfer_bytes:>10d} B "
+                  f"{result.stats.residency_hits:>11d}")
+    for device, stats in engine.residency_stats().items():
+        print(f"residency[{device}]: "
+              + " ".join(f"{k}={v}" for k, v in stats.items()))
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handler = {"devices": cmd_devices, "run": cmd_run,
                "compare": cmd_compare, "figures": cmd_figures,
-               "micro": cmd_micro, "validate": cmd_validate}[args.command]
+               "micro": cmd_micro, "validate": cmd_validate,
+               "concurrent": cmd_concurrent}[args.command]
     return handler(args)
 
 

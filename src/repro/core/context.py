@@ -14,7 +14,8 @@ from repro.primitives.values import Bitmap, JoinPairs, PositionList, PrefixSum
 from repro.storage import Catalog
 from repro.task.registry import TaskRegistry
 
-__all__ = ["ExecutionContext", "ExecutionStats", "QueryResult", "cardinality"]
+__all__ = ["ExecutionContext", "ExecutionStats", "QueryContext",
+           "QueryResult", "cardinality"]
 
 
 def cardinality(value: object) -> int:
@@ -39,6 +40,36 @@ def cardinality(value: object) -> int:
 
 
 @dataclass
+class QueryContext:
+    """Per-query identity threaded through one execution.
+
+    Under the single-shot executor there is exactly one (default) query
+    context per run and everything behaves as before.  Under the engine,
+    each admitted :class:`~repro.engine.QuerySession` contributes its own
+    context so that concurrent queries sharing devices stay isolated:
+
+    Attributes:
+        query_id: Unique id; tags clock events (per-query makespan
+            accounting) and device allocations (per-query OOM cleanup).
+        alias_prefix: Prepended to every buffer alias the execution
+            models create, so two in-flight queries never collide in a
+            shared device memory (empty for the compatibility facade).
+        memory_budget: Per-device admission budget in bytes (None =
+            uncapped); enforced by the device memory managers.
+        epoch_start: Clock time the query's epoch opened at; per-query
+            makespans are measured from here, not from zero.
+        use_residency: Whether ``load_data`` may serve base-table columns
+            from the device residency cache.
+    """
+
+    query_id: str = "q0"
+    alias_prefix: str = ""
+    memory_budget: int | None = None
+    epoch_start: float = 0.0
+    use_residency: bool = True
+
+
+@dataclass
 class ExecutionStats:
     """Aggregated timing/memory statistics of one query run."""
 
@@ -52,6 +83,12 @@ class ExecutionStats:
     #: execution group dominated the query.
     pipeline_spans: list[tuple[int, float, float]] = field(
         default_factory=list)
+    #: Id of the query the stats belong to (engine runs).
+    query_id: str = ""
+    #: Scan chunks served from the cross-query residency cache instead of
+    #: the interconnect, and the logical H2D bytes that avoided.
+    residency_hits: int = 0
+    residency_hit_bytes: int = 0
 
     @property
     def compute_time(self) -> float:
@@ -88,7 +125,8 @@ class ExecutionContext:
     def __init__(self, *, graph: PrimitiveGraph, catalog: Catalog,
                  devices: dict[str, Device], registry: TaskRegistry,
                  clock: VirtualClock, chunk_size: int,
-                 default_device: str, data_scale: int = 1) -> None:
+                 default_device: str, data_scale: int = 1,
+                 query: QueryContext | None = None) -> None:
         if not devices:
             raise ExecutionError("no devices plugged into the executor")
         if default_device not in devices:
@@ -112,6 +150,7 @@ class ExecutionContext:
         self.chunk_size = chunk_size
         self.default_device = default_device
         self.data_scale = data_scale
+        self.query = query if query is not None else QueryContext()
 
     @property
     def physical_chunk_rows(self) -> int:
@@ -132,10 +171,24 @@ class ExecutionContext:
     def collect_stats(self, *, chunks: int = 0,
                       pipeline_spans: list[tuple[int, float, float]]
                       | None = None) -> ExecutionStats:
-        events = self.clock.events
+        """Statistics of this query's events.
+
+        Under the single-shot executor every event on the (freshly reset)
+        clock belongs to the query and the makespan is the full timeline.
+        Under the engine, events are filtered by the query's owner tag and
+        the makespan is measured from the query's epoch start, so
+        co-running queries account only for their own work.
+        """
+        query = self.query
+        events = self.clock.events_of(query.query_id)
+        categories: dict[str, float] = {}
+        for e in events:
+            categories[e.category] = categories.get(e.category, 0.0) \
+                + e.duration
+        end = max((e.end for e in events), default=query.epoch_start)
         return ExecutionStats(
-            makespan=self.clock.makespan(),
-            time_by_category=self.clock.events_by_category(),
+            makespan=max(0.0, end - query.epoch_start),
+            time_by_category=categories,
             peak_device_bytes={
                 name: device.memory.peak_device_used  # type: ignore[attr-defined]
                 for name, device in self.devices.items()
@@ -147,4 +200,8 @@ class ExecutionContext:
             kernel_invocations=sum(1 for e in events
                                    if e.category == "compute"),
             pipeline_spans=list(pipeline_spans or ()),
+            query_id=query.query_id,
+            residency_hits=sum(1 for e in events if e.category == "cache"),
+            residency_hit_bytes=sum(e.nbytes for e in events
+                                    if e.category == "cache"),
         )

@@ -16,35 +16,57 @@ SDK pair touches nothing else — the runtime, task layer and plans are
 unchanged.  Any class implementing the ten
 :class:`~repro.devices.base.Device` interfaces can be plugged, including
 user-defined ones (see ``examples/custom_device_plugin.py``).
+
+Since the engine refactor the executor is a thin facade over a one-query
+:class:`~repro.engine.Engine` in single-shot (``fresh``) mode: every
+``run()`` starts on a reset timeline with reset devices and no
+cross-query state, exactly as before.  For multi-query serving —
+concurrent sessions sharing devices, residency caching — use the engine
+directly.
 """
 
 from __future__ import annotations
 
-from repro.core.context import ExecutionContext, QueryResult
+from repro.core.context import QueryResult
 from repro.core.graph import PrimitiveGraph
-from repro.core.models import MODELS
 from repro.devices.base import SimulatedDevice
-from repro.devices.transforms import register_default_transforms
-from repro.errors import ExecutionError
+from repro.engine.engine import DEFAULT_CHUNK_SIZE, Engine
 from repro.hardware.clock import VirtualClock
 from repro.hardware.specs import DeviceSpec
 from repro.storage import Catalog
-from repro.task.registry import TaskRegistry, default_registry
+from repro.task.registry import TaskRegistry
 
 __all__ = ["AdamantExecutor", "DEFAULT_CHUNK_SIZE"]
-
-#: The paper's evaluation chunk size: 2^25 values (Section V-C).
-DEFAULT_CHUNK_SIZE = 2**25
 
 
 class AdamantExecutor:
     """A query executor with plug-in interfaces for co-processors."""
 
     def __init__(self, *, registry: TaskRegistry | None = None) -> None:
-        self.clock = VirtualClock()
-        self.registry = registry if registry is not None else default_registry()
-        self.devices: dict[str, SimulatedDevice] = {}
-        self._default_device: str | None = None
+        self._engine = Engine(registry=registry, enable_residency=False,
+                              max_concurrent=1)
+
+    # -- engine delegation ----------------------------------------------------
+
+    @property
+    def clock(self) -> VirtualClock:
+        return self._engine.clock
+
+    @property
+    def registry(self) -> TaskRegistry:
+        return self._engine.registry
+
+    @registry.setter
+    def registry(self, registry: TaskRegistry) -> None:
+        self._engine.registry = registry
+
+    @property
+    def devices(self) -> dict[str, SimulatedDevice]:
+        return self._engine.devices
+
+    @property
+    def default_device(self) -> str:
+        return self._engine.default_device
 
     # -- plugging ---------------------------------------------------------------
 
@@ -62,28 +84,18 @@ class AdamantExecutor:
                 studies at small absolute data sizes).
             default: Make this the device for nodes without annotation.
         """
-        if name in self.devices:
-            raise ExecutionError(f"device name {name!r} already plugged")
-        device = driver(name, spec, self.clock, memory_limit=memory_limit)
-        register_default_transforms(device)
-        self.devices[name] = device
-        if default or self._default_device is None:
-            self._default_device = name
-        return device
+        return self._engine.plug_device(name, driver, spec,
+                                        memory_limit=memory_limit,
+                                        default=default)
 
     def unplug_device(self, name: str) -> None:
-        """Remove a device (plans annotated with it will fail to run)."""
-        if name not in self.devices:
-            raise ExecutionError(f"no plugged device {name!r}")
-        del self.devices[name]
-        if self._default_device == name:
-            self._default_device = next(iter(self.devices), None)
+        """Remove a device (plans annotated with it will fail to run).
 
-    @property
-    def default_device(self) -> str:
-        if self._default_device is None:
-            raise ExecutionError("no devices plugged")
-        return self._default_device
+        The device is fully torn down — buffers, registered transforms,
+        compiled-kernel cache and clock streams — so re-plugging the
+        same name later starts clean.
+        """
+        self._engine.unplug_device(name)
 
     # -- execution ----------------------------------------------------------------
 
@@ -106,25 +118,7 @@ class AdamantExecutor:
                 execute on small physical arrays with the exact
                 large-scale cost structure (see DESIGN.md section 2).
         """
-        try:
-            model_cls = MODELS[model]
-        except KeyError:
-            raise ExecutionError(
-                f"unknown execution model {model!r}; "
-                f"available: {sorted(MODELS)}"
-            ) from None
-        self.clock.reset()
-        for device in self.devices.values():
-            device.reset()
-            device.data_scale = data_scale
-        ctx = ExecutionContext(
-            graph=graph,
-            catalog=catalog,
-            devices=dict(self.devices),
-            registry=self.registry,
-            clock=self.clock,
-            chunk_size=chunk_size,
-            default_device=default_device or self.default_device,
-            data_scale=data_scale,
-        )
-        return model_cls(ctx).run()
+        return self._engine.execute(graph, catalog, model=model,
+                                    chunk_size=chunk_size,
+                                    default_device=default_device,
+                                    data_scale=data_scale, fresh=True)

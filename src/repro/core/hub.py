@@ -21,6 +21,7 @@ from repro.core.graph import DataEdge, PrimitiveNode, ScanSource
 from repro.devices.base import SimulatedDevice
 from repro.errors import ExecutionError
 from repro.hardware.clock import Event
+from repro.hardware.costmodel import TransferDirection
 from repro.storage.column import Column
 
 __all__ = ["DataTransferHub"]
@@ -51,14 +52,32 @@ class DataTransferHub:
             publish_only: Unified-memory mode: make the chunk visible in
                 the (host-resident) buffer without a DMA — kernels will
                 pay the interconnect read themselves.
+
+        When the device carries a cross-query residency cache (engine
+        mode) the column is served from device memory if a previous query
+        left it resident: the chunk lands in *alias* by device-internal
+        copy at memory bandwidth (category ``cache``, no H2D traffic).
+        On a miss, the H2D transfer that happens anyway is absorbed into
+        the cache for later queries.
         """
         if not edge.is_scan:
             raise ExecutionError(
                 f"load_data called on non-scan edge {edge.data_id}"
             )
         column = self.host_column(edge.source)
-        stop = column.values.shape[0] if stop is None else stop
+        total = column.values.shape[0]
+        stop = total if stop is None else stop
         payload: np.ndarray = column.slice(start, stop)
+        cache = device.residency
+        query = self.ctx.query
+        if cache is not None and query.use_residency and not publish_only:
+            resident = cache.lookup(edge.source.ref, self.ctx.catalog,
+                                    query.query_id)
+            if resident is not None:
+                return self._serve_resident(
+                    edge, device, alias, resident[start:stop],
+                    stop=stop, deps=deps,
+                )
         if publish_only:
             buffer = device.memory.get(alias)
             event = device.clock.schedule(
@@ -72,6 +91,9 @@ class DataTransferHub:
             edge.fetched_until = stop
             return event
         event = device.place_data(alias, payload, offset=start, deps=deps)
+        if cache is not None and query.use_residency:
+            cache.absorb(edge.source.ref, self.ctx.catalog, query.query_id,
+                         start=start, payload=payload, total_rows=total)
         if transfer_factor != 1.0:
             event = device.clock.schedule(
                 device.transfer_stream,
@@ -81,6 +103,30 @@ class DataTransferHub:
                 category="transfer",
             )
             device.memory.get(alias).ready = event
+        edge.device_id = device.name
+        edge.fetched_until = stop
+        return event
+
+    def _serve_resident(self, edge: DataEdge, device: SimulatedDevice,
+                        alias: str, payload: np.ndarray, *, stop: int,
+                        deps: list[Event] | None) -> Event:
+        """Residency-cache hit: fill *alias* from the device-resident
+        column by device-internal copy instead of an H2D transfer."""
+        if alias not in device.memory:
+            device.prepare_memory(alias, int(payload.nbytes))
+        buffer = device.memory.get(alias)
+        nbytes = int(payload.nbytes) * device.data_scale
+        event = device.clock.schedule(
+            device.transfer_stream,
+            device.cost.transfer_seconds(
+                nbytes, direction=TransferDirection.D2D),
+            label=f"{device.name}:resident:{alias}",
+            deps=deps,
+            category="cache",
+            nbytes=nbytes,
+        )
+        buffer.value = payload
+        buffer.ready = event
         edge.device_id = device.name
         edge.fetched_until = stop
         return event

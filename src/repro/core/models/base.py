@@ -90,26 +90,48 @@ class ExecutionModel(abc.ABC):
         #: node id -> device name holding that result
         self.node_device: dict[str, str] = {}
         self.chunks_processed = 0
+        #: Query-unique alias prefix (empty for single-query executions);
+        #: keeps concurrent queries' buffers apart in shared devices.
+        self.qp = ctx.query.alias_prefix
+        self._spans: list[tuple[int, float, float]] = []
 
     # -- template -----------------------------------------------------------
 
     def run(self) -> QueryResult:
         """Execute the context's graph and collect outputs + statistics."""
+        for _ in self.iter_pipelines():
+            pass
+        return self.finalize()
+
+    def iter_pipelines(self):
+        """Generator stepping through the query one pipeline at a time.
+
+        The engine's device scheduler drives several queries' generators
+        round-robin to interleave them on shared devices; ``run()`` just
+        drains it for the single-query path.  Yields each completed
+        :class:`Pipeline`.
+        """
         graph = self.ctx.graph
         graph.validate()
         graph.reset_runtime_state()
         for device in self.ctx.devices.values():
             device.initialize()
-        spans: list[tuple[int, float, float]] = []
         for pipeline in split_pipelines(graph):
             started = self.ctx.clock.now()
             self.run_pipeline(pipeline)
-            spans.append((pipeline.index, started, self.ctx.clock.now()))
+            self._spans.append((pipeline.index, started,
+                                self.ctx.clock.now()))
+            yield pipeline
+
+    def finalize(self) -> QueryResult:
+        """Retrieve the outputs and close out the query's statistics."""
         outputs = self._retrieve_outputs()
         self.ctx.clock.barrier()
-        stats = self.ctx.collect_stats(chunks=self.chunks_processed,
-                                       pipeline_spans=spans)
-        return QueryResult(outputs=outputs, stats=stats)
+        return QueryResult(
+            outputs=outputs,
+            stats=self.ctx.collect_stats(chunks=self.chunks_processed,
+                                         pipeline_spans=self._spans),
+        )
 
     @abc.abstractmethod
     def run_pipeline(self, pipeline: Pipeline) -> None:
@@ -252,7 +274,7 @@ class ExecutionModel(abc.ABC):
             aliases = []
             width = int(self.ctx.catalog.column(ref).dtype.itemsize)
             for b in range(n_buffers):
-                alias = f"p{pipeline.index}:s:{ref}:b{b}"
+                alias = f"{self.qp}p{pipeline.index}:s:{ref}:b{b}"
                 if self.uses_pinned_staging:
                     device.add_pinned_memory(alias, chunk * width)
                 else:
@@ -298,7 +320,7 @@ class ExecutionModel(abc.ABC):
                 deps.append(chunk_last_compute[ci - n_buffers])
 
             for ref, edges in scan_edges_by_ref.items():
-                event = self.hub.load_data(
+                self.hub.load_data(
                     edges[0], device, scan_alias_of[ref],
                     start=start, stop=stop, deps=deps,
                     transfer_factor=factor,
@@ -311,7 +333,7 @@ class ExecutionModel(abc.ABC):
             last = None
             for nid in pipeline.node_ids:
                 node = graph.nodes[nid]
-                out_alias = f"p{pipeline.index}:n:{nid}"
+                out_alias = f"{self.qp}p{pipeline.index}:n:{nid}"
                 aliases = self.input_alias(nid, scan_alias_of=scan_alias_of)
                 uma_bytes = 0
                 if self.zero_copy:
@@ -350,7 +372,7 @@ class ExecutionModel(abc.ABC):
                                      at_time=self.ctx.clock.now())
         for nid in pipeline.node_ids:
             if nid not in persisted:
-                alias = f"p{pipeline.index}:n:{nid}"
+                alias = f"{self.qp}p{pipeline.index}:n:{nid}"
                 if alias in device.memory:
                     device.delete_memory(alias)
         # Delete phase: release the staging buffers.
@@ -367,7 +389,7 @@ class ExecutionModel(abc.ABC):
         for nid in pipeline.node_ids:
             for edge in graph.in_edges(nid):
                 if edge.is_scan and edge.source.ref not in scan_alias_of:
-                    alias = f"s:{edge.source.ref}"
+                    alias = f"{self.qp}s:{edge.source.ref}"
                     if alias not in device.memory:
                         self.hub.load_data(edge, device, alias)
                     else:
@@ -376,7 +398,8 @@ class ExecutionModel(abc.ABC):
         for nid in pipeline.node_ids:
             node = graph.nodes[nid]
             aliases = self.input_alias(nid, scan_alias_of=scan_alias_of)
-            self.execute_node(node, device, aliases, f"p{pipeline.index}:n:{nid}")
+            self.execute_node(node, device, aliases,
+                              f"{self.qp}p{pipeline.index}:n:{nid}")
 
     def _persisted_nodes(self, pipeline: Pipeline) -> set[str]:
         """Nodes whose results outlive the pipeline: breakers, query

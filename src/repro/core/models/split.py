@@ -94,7 +94,7 @@ class SplitChunkedModel(ExecutionModel):
             for ref in pipeline.scan_refs:
                 key = (ref, device.name)
                 if key not in staged:
-                    alias = f"p{pipeline.index}:s:{ref}@{device.name}"
+                    alias = f"{self.qp}p{pipeline.index}:s:{ref}@{device.name}"
                     width = int(self.ctx.catalog.column(ref).dtype.itemsize)
                     device.add_pinned_memory(alias, chunk * width)
                     staged[key] = alias
@@ -111,7 +111,7 @@ class SplitChunkedModel(ExecutionModel):
             last = None
             for nid in pipeline.node_ids:
                 node = graph.nodes[nid]
-                out_alias = f"p{pipeline.index}:n:{nid}@{device.name}"
+                out_alias = f"{self.qp}p{pipeline.index}:n:{nid}@{device.name}"
                 aliases = []
                 for edge in graph.in_edges(nid):
                     if edge.is_scan:
@@ -122,7 +122,8 @@ class SplitChunkedModel(ExecutionModel):
                         edge.device_id = device.name
                     else:
                         aliases.append(
-                            f"p{pipeline.index}:n:{edge.source}@{device.name}")
+                            f"{self.qp}p{pipeline.index}:n:"
+                            f"{edge.source}@{device.name}")
                 last = self.execute_node(node, device, aliases, out_alias,
                                          chunk_base=start)
                 if nid in persisted:
@@ -141,7 +142,7 @@ class SplitChunkedModel(ExecutionModel):
             node = graph.nodes[nid]
             combined = combine_chunk_results(
                 parts, agg_fn=str(node.params.get("fn", "sum")))
-            alias = f"p{pipeline.index}:n:{nid}"
+            alias = f"{self.qp}p{pipeline.index}:n:{nid}"
             if alias in fast.memory:
                 fast.delete_memory(alias)
             fast.prepare_memory(alias, value_nbytes(combined))
@@ -154,7 +155,7 @@ class SplitChunkedModel(ExecutionModel):
         # Release per-device transient state.
         for device in devices:
             for nid in pipeline.node_ids:
-                alias = f"p{pipeline.index}:n:{nid}@{device.name}"
+                alias = f"{self.qp}p{pipeline.index}:n:{nid}@{device.name}"
                 if alias in device.memory:
                     device.delete_memory(alias)
             for (ref, name), alias in staged.items():

@@ -22,8 +22,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import (
+    DeviceMemoryError,
     DeviceNotInitializedError,
     KernelCompilationError,
+    QueryBudgetError,
 )
 from repro.hardware.clock import Event, VirtualClock
 from repro.hardware.costmodel import CostModel, TransferDirection
@@ -158,8 +160,14 @@ class SimulatedDevice(Device):
         #: Each physical row stands for this many logical rows: time and
         #: memory are charged at logical scale, so paper-scale experiments
         #: (SF 100, GB inputs) run on laptop-sized arrays with the exact
-        #: large-scale cost structure.  Set by the executor per run.
+        #: large-scale cost structure.  Set through ``reset(data_scale=)``
+        #: per run, or per scheduling slice via ``bind_query``.
         self.data_scale = 1
+        #: Query id new allocations are charged to (``bind_query``).
+        self.current_owner = ""
+        #: Cross-query residency cache; attached by the engine when the
+        #: device is long-lived (None under the single-shot executor).
+        self.residency = None
         self._initialized = False
         self._compiled: set[str] = set()
 
@@ -209,15 +217,49 @@ class SimulatedDevice(Device):
         )
         self._initialized = True
 
-    def reset(self) -> None:
+    def reset(self, *, data_scale: int = 1) -> None:
         """Release all buffers and require a fresh ``initialize()``.
 
         Called by the executor between query runs so memory accounting
         and footprint traces start clean on the (reset) shared clock.
+        The run's *data_scale* is set here (defaulting back to 1) so a
+        stale scale can never leak from one run into the next.
         """
         capacity = self.memory.capacity_bytes
         self.memory = MemoryManager(capacity)
+        self.data_scale = data_scale
+        self.current_owner = ""
+        if self.residency is not None:
+            self.residency.clear()
         self._initialized = False
+
+    def release(self) -> None:
+        """Tear the device fully down (``unplug_device``).
+
+        Beyond :meth:`reset`, this clears the registered data-format
+        transforms and drops the device's streams from the shared clock,
+        so re-plugging the same name starts from a clean slate.
+        """
+        self.reset()
+        self.data_container.transforms.clear()
+        self._compiled.clear()
+        self.clock.drop_stream(self.transfer_stream)
+        self.clock.drop_stream(self.compute_stream)
+
+    def bind_query(self, query_id: str, *, data_scale: int = 1,
+                   memory_budget: int | None = None) -> None:
+        """Attribute subsequent device work to *query_id*.
+
+        The engine's scheduler calls this at every interleaving slice so
+        allocations are owner-tagged (isolating OOM cleanup), the memory
+        budget is enforced, and costs are charged at the query's scale.
+        """
+        self.current_owner = query_id
+        self.data_scale = data_scale
+        self.memory.set_budget(query_id, memory_budget)
+
+    def unbind_query(self) -> None:
+        self.current_owner = ""
 
     def _require_initialized(self) -> None:
         if not self._initialized:
@@ -276,13 +318,37 @@ class SimulatedDevice(Device):
         )
         return value, event
 
+    def _allocate(self, alias: str, logical: int, *,
+                  pinned: bool = False) -> None:
+        """Owner-tagged allocation with residency-cache back-pressure.
+
+        When the device is engine-owned and a query allocation does not
+        fit, unpinned residency-cache entries are evicted (LRU) and the
+        allocation retried once — cached columns yield to live queries.
+        Budget violations are never retried: the query is over its own
+        cap, not competing with the cache.
+        """
+        try:
+            self.memory.allocate(
+                alias, logical, pinned=pinned, data_format=self.data_format,
+                at_time=self.clock.now(), owner=self.current_owner,
+            )
+        except QueryBudgetError:
+            raise
+        except DeviceMemoryError:
+            if self.residency is None or pinned or not \
+                    self.residency.evict_bytes(logical
+                                               - self.memory.device_free):
+                raise
+            self.memory.allocate(
+                alias, logical, pinned=pinned, data_format=self.data_format,
+                at_time=self.clock.now(), owner=self.current_owner,
+            )
+
     def prepare_memory(self, alias: str, nbytes: int) -> Event:
         self._require_initialized()
         logical = nbytes * self.data_scale
-        self.memory.allocate(
-            alias, logical, data_format=self.data_format,
-            at_time=self.clock.now(),
-        )
+        self._allocate(alias, logical)
         return self.clock.schedule(
             self.compute_stream, self.cost.alloc_seconds(logical),
             label=f"{self.name}:alloc:{alias}", category="alloc",
@@ -291,10 +357,7 @@ class SimulatedDevice(Device):
     def add_pinned_memory(self, alias: str, nbytes: int) -> Event:
         self._require_initialized()
         logical = nbytes * self.data_scale
-        self.memory.allocate(
-            alias, logical, pinned=True, data_format=self.data_format,
-            at_time=self.clock.now(),
-        )
+        self._allocate(alias, logical, pinned=True)
         return self.clock.schedule(
             self.compute_stream, self.cost.alloc_seconds(logical, pinned=True),
             label=f"{self.name}:pinned-alloc:{alias}", category="alloc",
@@ -327,7 +390,8 @@ class SimulatedDevice(Device):
                      size: int) -> Event:
         self._require_initialized()
         parent = self.memory.get(alias)
-        view = self.memory.add_view(chunk_alias, alias)
+        view = self.memory.add_view(chunk_alias, alias,
+                                    owner=self.current_owner)
         if isinstance(parent.value, np.ndarray):
             view.value = parent.value[offset:offset + size]
         view.ready = parent.ready
@@ -336,6 +400,20 @@ class SimulatedDevice(Device):
             self.compute_stream, 1e-6,
             label=f"{self.name}:chunk:{chunk_alias}", category="alloc",
         )
+
+    def resize_memory(self, alias: str, nbytes: int) -> None:
+        """Grow *alias* to *nbytes* (logical), evicting residency-cache
+        entries under memory pressure exactly like :meth:`_allocate`."""
+        try:
+            self.memory.resize(alias, nbytes, at_time=self.clock.now())
+        except QueryBudgetError:
+            raise
+        except DeviceMemoryError:
+            delta = nbytes - self.memory.get(alias).nbytes
+            if self.residency is None or not self.residency.evict_bytes(
+                    delta - self.memory.device_free):
+                raise
+            self.memory.resize(alias, nbytes, at_time=self.clock.now())
 
     # -- kernel management ------------------------------------------------------------
 
@@ -406,8 +484,7 @@ class SimulatedDevice(Device):
             out = self.memory.get(task.output)
             actual = value_nbytes(result) * self.data_scale
             if out.view_of is None and actual > out.nbytes:
-                self.memory.resize(task.output, actual,
-                                   at_time=self.clock.now())
+                self.resize_memory(task.output, actual)
             self._store(out, result, event)
         return event
 

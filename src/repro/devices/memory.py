@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import DeviceMemoryError, UnknownBufferError
+from repro.errors import DeviceMemoryError, QueryBudgetError, UnknownBufferError
 from repro.hardware.clock import Event
 
 __all__ = ["Buffer", "MemoryManager"]
@@ -33,6 +33,8 @@ class Buffer:
             (views reserve no extra capacity).
         ready: The clock event that last wrote this buffer; executions
             reading the buffer depend on it.
+        owner: Query id (or the residency-cache pseudo-owner) the
+            allocation is charged to; empty for untagged allocations.
     """
 
     alias: str
@@ -42,6 +44,7 @@ class Buffer:
     data_format: str = ""
     view_of: str | None = None
     ready: Event | None = None
+    owner: str = ""
 
 
 class MemoryManager:
@@ -58,6 +61,8 @@ class MemoryManager:
         self._pinned_used = 0
         self.peak_device_used = 0
         self.footprint_trace: list[tuple[float, int]] = [(0.0, 0)]
+        self._owner_used: dict[str, int] = {}
+        self._budgets: dict[str, int] = {}
 
     # -- queries -----------------------------------------------------------
 
@@ -87,14 +92,53 @@ class MemoryManager:
     def aliases(self) -> list[str]:
         return sorted(self._buffers)
 
+    def owner_used(self, owner: str) -> int:
+        """Device bytes currently charged to *owner*."""
+        return self._owner_used.get(owner, 0)
+
+    def owned_aliases(self, owner: str) -> list[str]:
+        return sorted(a for a, b in self._buffers.items() if b.owner == owner)
+
+    # -- per-query budgets ---------------------------------------------------
+
+    def set_budget(self, owner: str, nbytes: int | None) -> None:
+        """Cap *owner*'s device allocations at *nbytes* (None removes the
+        cap).  Enforced by :meth:`allocate` and :meth:`resize` through
+        :class:`~repro.errors.QueryBudgetError`, so an over-budget query
+        fails its own allocation instead of starving co-running queries.
+        """
+        if nbytes is None:
+            self._budgets.pop(owner, None)
+        else:
+            self._budgets[owner] = int(nbytes)
+
+    def _charge(self, owner: str, delta: int) -> None:
+        if not owner:
+            return
+        budget = self._budgets.get(owner)
+        used = self._owner_used.get(owner, 0)
+        if budget is not None and delta > 0 and used + delta > budget:
+            raise QueryBudgetError(
+                f"allocation of {delta} B exceeds query {owner!r}'s memory "
+                f"budget ({budget - used} of {budget} B left)",
+                requested=delta,
+                available=max(0, budget - used),
+            )
+        self._owner_used[owner] = used + delta
+        if self._owner_used[owner] <= 0:
+            del self._owner_used[owner]
+
     # -- allocation ----------------------------------------------------------
 
     def allocate(self, alias: str, nbytes: int, *, pinned: bool = False,
-                 data_format: str = "", at_time: float = 0.0) -> Buffer:
-        """Reserve *nbytes* under *alias*.
+                 data_format: str = "", at_time: float = 0.0,
+                 owner: str = "") -> Buffer:
+        """Reserve *nbytes* under *alias*, charged to *owner*.
 
         Raises :class:`DeviceMemoryError` when a device allocation would
-        exceed capacity (pinned buffers are host-side and unbounded here).
+        exceed capacity (pinned buffers are host-side and unbounded here)
+        and :class:`QueryBudgetError` when it would exceed the owner's
+        session budget.
         """
         if alias in self._buffers:
             raise DeviceMemoryError(f"buffer {alias!r} already allocated")
@@ -107,8 +151,10 @@ class MemoryManager:
                 requested=nbytes,
                 available=self.device_free,
             )
+        if not pinned:
+            self._charge(owner, int(nbytes))
         buffer = Buffer(alias=alias, nbytes=int(nbytes), pinned=pinned,
-                        data_format=data_format)
+                        data_format=data_format, owner=owner)
         self._buffers[alias] = buffer
         if pinned:
             self._pinned_used += buffer.nbytes
@@ -120,7 +166,7 @@ class MemoryManager:
         return buffer
 
     def add_view(self, alias: str, parent: str, *,
-                 data_format: str = "") -> Buffer:
+                 data_format: str = "", owner: str = "") -> Buffer:
         """Register a zero-copy view (``create_chunk``) of *parent*."""
         if alias in self._buffers:
             raise DeviceMemoryError(f"buffer {alias!r} already allocated")
@@ -128,7 +174,7 @@ class MemoryManager:
         buffer = Buffer(
             alias=alias, nbytes=0, pinned=parent_buffer.pinned,
             data_format=data_format or parent_buffer.data_format,
-            view_of=parent,
+            view_of=parent, owner=owner or parent_buffer.owner,
         )
         self._buffers[alias] = buffer
         return buffer
@@ -154,6 +200,7 @@ class MemoryManager:
                     requested=delta,
                     available=self.device_free,
                 )
+            self._charge(buffer.owner, delta)
             self._device_used += delta
             self.peak_device_used = max(self.peak_device_used,
                                         self._device_used)
@@ -175,8 +222,31 @@ class MemoryManager:
         if buffer.pinned:
             self._pinned_used -= buffer.nbytes
         else:
+            self._charge(buffer.owner, -buffer.nbytes)
             self._device_used -= buffer.nbytes
             self.footprint_trace.append((at_time, self._device_used))
+
+    def free_owner(self, owner: str, *, at_time: float = 0.0) -> int:
+        """Release every buffer charged to *owner*; returns bytes freed.
+
+        Views over the owner's buffers are released first (even when
+        another owner created them), so one failed query can be reclaimed
+        without corrupting co-running queries' buffers.
+        """
+        doomed = {a for a, b in self._buffers.items() if b.owner == owner}
+        freed = sum(self._buffers[a].nbytes for a in doomed
+                    if not self._buffers[a].pinned)
+        for alias, buffer in list(self._buffers.items()):
+            if buffer.view_of in doomed and alias not in doomed:
+                self.free(alias, at_time=at_time)
+        for alias in [a for a in doomed
+                      if self._buffers[a].view_of is not None]:
+            self.free(alias, at_time=at_time)
+        for alias in doomed:
+            if alias in self._buffers:
+                self.free(alias, at_time=at_time)
+        self._budgets.pop(owner, None)
+        return freed
 
     def free_all(self, *, at_time: float = 0.0) -> None:
         """Release everything (end-of-query cleanup)."""

@@ -1,0 +1,27 @@
+"""Multi-query engine: sessions, shared-device scheduling, residency.
+
+The package lifts the single-shot :class:`~repro.core.executor.
+AdamantExecutor` into a long-lived serving layer:
+
+* :class:`Engine` owns the devices and the virtual clock across queries;
+* :class:`QuerySession` is the admission ticket carrying a query's
+  unique id and memory budget;
+* :class:`DeviceScheduler` interleaves in-flight queries' pipelines on
+  the shared devices;
+* :class:`QueryRequest` describes one query of a concurrent batch.
+
+See ``docs/architecture.md`` ("Engine & sessions") for the design and
+``examples/concurrent_queries.py`` for a walkthrough.
+"""
+
+from repro.engine.engine import DEFAULT_CHUNK_SIZE, Engine, QueryRequest
+from repro.engine.scheduler import DeviceScheduler
+from repro.engine.session import QuerySession
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "DeviceScheduler",
+    "Engine",
+    "QueryRequest",
+    "QuerySession",
+]

@@ -1,0 +1,341 @@
+"""The multi-query engine: long-lived devices, sessions, shared scheduling.
+
+Where :class:`~repro.core.executor.AdamantExecutor` resets the world for
+every ``run()``, an :class:`Engine` keeps its devices and virtual clock
+alive across queries:
+
+* queries are admitted through :class:`~repro.engine.QuerySession`
+  tickets (bounded concurrency, per-query memory budgets, unique ids);
+* :meth:`Engine.run_concurrent` interleaves several queries' pipelines
+  on the shared devices through the
+  :class:`~repro.engine.DeviceScheduler`, with per-query makespan
+  accounting on the common timeline;
+* each device carries a cross-query
+  :class:`~repro.devices.residency.ResidencyCache`, so base-table
+  columns one query paid to transfer are served to later queries from
+  device memory instead of the interconnect.
+
+The single-shot executor remains as a thin facade over a one-query
+engine (``fresh`` mode), byte-compatible with its original behavior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.context import ExecutionContext, QueryResult
+from repro.core.graph import PrimitiveGraph
+from repro.core.models import MODELS
+from repro.core.models.base import ExecutionModel
+from repro.devices.base import SimulatedDevice
+from repro.devices.residency import ResidencyCache
+from repro.devices.transforms import register_default_transforms
+from repro.engine.scheduler import DeviceScheduler
+from repro.engine.session import QuerySession
+from repro.errors import ExecutionError, QueryAdmissionError
+from repro.hardware.clock import VirtualClock
+from repro.hardware.specs import DeviceSpec
+from repro.storage import Catalog
+from repro.task.registry import TaskRegistry, default_registry
+
+__all__ = ["DEFAULT_CHUNK_SIZE", "Engine", "QueryRequest"]
+
+#: The paper's evaluation chunk size: 2^25 values (Section V-C).
+DEFAULT_CHUNK_SIZE = 2**25
+
+
+@dataclass
+class QueryRequest:
+    """One query of a concurrent batch (:meth:`Engine.run_concurrent`).
+
+    Each request needs its *own* graph instance — primitive graphs carry
+    runtime edge state, so two in-flight queries must not share one.
+    """
+
+    graph: PrimitiveGraph
+    catalog: Catalog
+    model: str = "chunked"
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    default_device: str | None = None
+    data_scale: int = 1
+    memory_budget: int | None = None
+    label: str = ""
+
+
+class Engine:
+    """A long-lived multi-query executor with shared-device scheduling.
+
+    Args:
+        registry: Task registry (defaults to the built-in kernels).
+        enable_residency: Attach a cross-query residency cache to every
+            plugged device (the compatibility facade turns this off).
+        max_concurrent: Session admission limit; exceeding it raises
+            :class:`~repro.errors.QueryAdmissionError`.
+    """
+
+    def __init__(self, *, registry: TaskRegistry | None = None,
+                 enable_residency: bool = True,
+                 max_concurrent: int = 8) -> None:
+        if max_concurrent < 1:
+            raise ExecutionError(
+                f"max_concurrent must be >= 1, got {max_concurrent}")
+        self.clock = VirtualClock()
+        self.registry = registry if registry is not None else default_registry()
+        self.devices: dict[str, SimulatedDevice] = {}
+        self.enable_residency = enable_residency
+        self.max_concurrent = max_concurrent
+        self._default_device: str | None = None
+        self._sessions: dict[str, QuerySession] = {}
+        self._query_counter = 0
+        self._scheduler = DeviceScheduler(reclaim=True)
+
+    # -- plugging ------------------------------------------------------------
+
+    def plug_device(self, name: str, driver: type[SimulatedDevice],
+                    spec: DeviceSpec, *, memory_limit: int | None = None,
+                    default: bool = False) -> SimulatedDevice:
+        """Plug a co-processor driver into the engine.
+
+        Identical to the executor's headline operation; in engine mode
+        the device additionally receives a residency cache for
+        cross-query column reuse.
+        """
+        if name in self.devices:
+            raise ExecutionError(f"device name {name!r} already plugged")
+        device = driver(name, spec, self.clock, memory_limit=memory_limit)
+        register_default_transforms(device)
+        if self.enable_residency:
+            device.residency = ResidencyCache(device)
+        self.devices[name] = device
+        if default or self._default_device is None:
+            self._default_device = name
+        return device
+
+    def unplug_device(self, name: str) -> None:
+        """Remove a device and tear down all its engine-side state.
+
+        The device's buffers, residency entries, registered format
+        transforms, compiled-kernel cache and clock streams are all
+        released, so plugging a new device under the same name starts
+        from a clean slate.
+        """
+        try:
+            device = self.devices.pop(name)
+        except KeyError:
+            raise ExecutionError(f"no plugged device {name!r}") from None
+        device.release()
+        if self._default_device == name:
+            self._default_device = next(iter(self.devices), None)
+
+    @property
+    def default_device(self) -> str:
+        if self._default_device is None:
+            raise ExecutionError("no devices plugged")
+        return self._default_device
+
+    # -- sessions ------------------------------------------------------------
+
+    @property
+    def active_sessions(self) -> int:
+        return len(self._sessions)
+
+    def open_session(self, *, memory_budget: int | None = None,
+                     label: str = "") -> QuerySession:
+        """Admit one query; raises when the concurrency limit is reached.
+
+        The session carries a unique query id and (optionally) a
+        per-device memory budget.  Close it (or use it as a context
+        manager) to free the admission slot and the query's device-side
+        state.
+        """
+        if len(self._sessions) >= self.max_concurrent:
+            raise QueryAdmissionError(
+                f"engine at its concurrency limit "
+                f"({self.max_concurrent} active sessions); close one first"
+            )
+        self._query_counter += 1
+        query_id = f"q{self._query_counter}"
+        session = QuerySession(self, query_id,
+                               memory_budget=memory_budget, label=label)
+        self._sessions[query_id] = session
+        return session
+
+    def _close_session(self, session: QuerySession) -> None:
+        self._sessions.pop(session.query_id, None)
+        for device in self.devices.values():
+            if device.residency is not None:
+                device.residency.release_query(session.query_id)
+            device.memory.free_owner(session.query_id,
+                                     at_time=self.clock.now())
+            device.memory.set_budget(session.query_id, None)
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, graph: PrimitiveGraph, catalog: Catalog, *,
+                model: str = "chunked",
+                chunk_size: int = DEFAULT_CHUNK_SIZE,
+                default_device: str | None = None, data_scale: int = 1,
+                session: QuerySession | None = None,
+                memory_budget: int | None = None,
+                fresh: bool = False) -> QueryResult:
+        """Execute one query on the engine's devices.
+
+        In engine mode (default) the query runs in a new clock *epoch* on
+        the live timeline: devices keep their residency caches, the
+        query's events are owner-tagged, and its makespan is measured
+        from the epoch start.  With ``fresh=True`` the clock and devices
+        are reset first — the single-shot semantics of the original
+        executor, used by the compatibility facade.
+
+        Args:
+            session: Run under an already-open session (kept open);
+                otherwise a session is opened and closed internally.
+            memory_budget: Per-device byte budget for the internal
+                session (ignored when *session* is given).
+            fresh: Reset the world first and skip sessions/residency
+                bookkeeping entirely.
+        """
+        model_cls = self._resolve_model(model)
+        if fresh:
+            return self._execute_fresh(
+                model_cls, graph, catalog, chunk_size=chunk_size,
+                default_device=default_device, data_scale=data_scale)
+
+        auto = session is None
+        if auto:
+            session = self.open_session(memory_budget=memory_budget)
+        try:
+            epoch_start = self.clock.begin_epoch()
+            model_obj = self._build_model(
+                model_cls, session, graph, catalog, chunk_size=chunk_size,
+                default_device=default_device, data_scale=data_scale,
+                epoch_start=epoch_start)
+            self._scheduler.run([(session, model_obj)])
+            if session.error is not None:
+                raise session.error
+            assert session.result is not None
+            return session.result
+        finally:
+            if auto:
+                session.close()
+
+    def run_concurrent(self, requests: list[QueryRequest], *,
+                       return_exceptions: bool = False
+                       ) -> list[QueryResult | Exception]:
+        """Run a batch of queries interleaved on the shared devices.
+
+        Queries are admitted in waves of at most ``max_concurrent``; each
+        wave shares one clock epoch and is driven round-robin by the
+        device scheduler, so its combined makespan is at most the sum of
+        the queries' sequential makespans.  Results come back in request
+        order.
+
+        Args:
+            return_exceptions: Per-query failures are returned in place
+                (like ``asyncio.gather``) instead of raised after the
+                wave finishes.
+        """
+        graphs = {id(request.graph) for request in requests}
+        if len(graphs) != len(requests):
+            raise ExecutionError(
+                "each concurrent request needs its own graph instance "
+                "(primitive graphs carry runtime edge state)"
+            )
+        for request in requests:
+            self._resolve_model(request.model)  # fail before admitting
+        results: list[QueryResult | Exception] = []
+        step = self.max_concurrent
+        for offset in range(0, len(requests), step):
+            wave = requests[offset:offset + step]
+            epoch_start = self.clock.begin_epoch()
+            work: list[tuple[QuerySession, ExecutionModel]] = []
+            try:
+                for request in wave:
+                    session = self.open_session(
+                        memory_budget=request.memory_budget,
+                        label=request.label)
+                    model_obj = self._build_model(
+                        self._resolve_model(request.model), session,
+                        request.graph, request.catalog,
+                        chunk_size=request.chunk_size,
+                        default_device=request.default_device,
+                        data_scale=request.data_scale,
+                        epoch_start=epoch_start)
+                    work.append((session, model_obj))
+                self._scheduler.run(work)
+                failure: Exception | None = None
+                for session, _ in work:
+                    if session.error is not None:
+                        results.append(session.error)
+                        failure = failure or session.error
+                    else:
+                        assert session.result is not None
+                        results.append(session.result)
+                if failure is not None and not return_exceptions:
+                    raise failure
+            finally:
+                for session, _ in work:
+                    session.close()
+        return results
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _resolve_model(model: str) -> type[ExecutionModel]:
+        try:
+            return MODELS[model]
+        except KeyError:
+            raise ExecutionError(
+                f"unknown execution model {model!r}; "
+                f"available: {sorted(MODELS)}"
+            ) from None
+
+    def _context(self, graph: PrimitiveGraph, catalog: Catalog, *,
+                 chunk_size: int, default_device: str | None,
+                 data_scale: int, **kwargs) -> ExecutionContext:
+        return ExecutionContext(
+            graph=graph,
+            catalog=catalog,
+            devices=dict(self.devices),
+            registry=self.registry,
+            clock=self.clock,
+            chunk_size=chunk_size,
+            default_device=default_device or self.default_device,
+            data_scale=data_scale,
+            **kwargs,
+        )
+
+    def _build_model(self, model_cls: type[ExecutionModel],
+                     session: QuerySession, graph: PrimitiveGraph,
+                     catalog: Catalog, *, chunk_size: int,
+                     default_device: str | None, data_scale: int,
+                     epoch_start: float) -> ExecutionModel:
+        ctx = self._context(
+            graph, catalog, chunk_size=chunk_size,
+            default_device=default_device, data_scale=data_scale,
+            query=session.query_context(epoch_start=epoch_start),
+        )
+        return model_cls(ctx)
+
+    def _execute_fresh(self, model_cls: type[ExecutionModel],
+                       graph: PrimitiveGraph, catalog: Catalog, *,
+                       chunk_size: int, default_device: str | None,
+                       data_scale: int) -> QueryResult:
+        """Single-shot semantics: reset the timeline and devices, run."""
+        self.clock.reset()
+        for device in self.devices.values():
+            device.reset(data_scale=data_scale)
+        ctx = self._context(graph, catalog, chunk_size=chunk_size,
+                            default_device=default_device,
+                            data_scale=data_scale)
+        return model_cls(ctx).run()
+
+    # -- statistics ----------------------------------------------------------
+
+    def residency_stats(self) -> dict[str, dict[str, int]]:
+        """Per-device residency-cache statistics (engine mode only)."""
+        return {
+            name: device.residency.stats()
+            for name, device in self.devices.items()
+            if device.residency is not None
+        }

@@ -1,0 +1,119 @@
+"""Device scheduler: interleaves in-flight queries on shared devices.
+
+The execution models expose their pipeline loop as a generator
+(:meth:`~repro.core.models.base.ExecutionModel.iter_pipelines`), so a
+query run is a resumable sequence of pipeline steps.  The scheduler
+drives several queries' generators round-robin over the *same* device
+set and virtual clock: each query advances one pipeline per turn, its
+events tagged with its query id, its allocations owner-tagged and
+budget-checked.  Fairness is positional — every in-flight query gets a
+pipeline slot per round, so a ten-pipeline query cannot starve a
+two-pipeline one.
+
+A query that raises is aborted alone: its owner-tagged buffers are
+reclaimed (including views other queries took over them) and its
+residency pins dropped, while the co-running queries continue
+untouched.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.core.models.base import ExecutionModel
+from repro.core.pipelines import Pipeline
+from repro.engine.session import QuerySession
+from repro.errors import AdamantError
+
+__all__ = ["DeviceScheduler"]
+
+
+@dataclass
+class _InFlight:
+    """One admitted query being interleaved."""
+
+    session: QuerySession
+    model: ExecutionModel
+    steps: Iterator[Pipeline]
+    pipelines_run: int = 0
+
+
+class DeviceScheduler:
+    """Round-robin arbitration of query pipelines over shared devices.
+
+    Args:
+        reclaim: Free each query's owner-tagged device buffers once its
+            result has been retrieved (engine mode).  The single-query
+            compatibility path leaves buffers in place, as the original
+            executor did.
+    """
+
+    def __init__(self, *, reclaim: bool = True) -> None:
+        self.reclaim = reclaim
+
+    def run(self, work: list[tuple[QuerySession, ExecutionModel]]) -> None:
+        """Drive every (session, model) pair to completion, interleaved.
+
+        Results and failures are recorded on the sessions; this method
+        never raises for a per-query :class:`AdamantError` — one query's
+        OOM or execution failure must not take down its co-runners.
+        """
+        queue = deque(
+            _InFlight(session=session, model=model,
+                      steps=model.iter_pipelines())
+            for session, model in work
+        )
+        while queue:
+            entry = queue.popleft()
+            self._bind(entry)
+            try:
+                try:
+                    next(entry.steps)
+                except StopIteration:
+                    entry.session._record(entry.model.finalize())
+                    self._release(entry)
+                else:
+                    entry.pipelines_run += 1
+                    queue.append(entry)
+            except AdamantError as error:
+                entry.session._fail(error)
+                self._release(entry, failed=True)
+            finally:
+                self._unbind(entry)
+
+    # -- query <-> device binding -------------------------------------------
+
+    @staticmethod
+    def _bind(entry: _InFlight) -> None:
+        """Attribute the upcoming slice of work to the entry's query."""
+        ctx = entry.model.ctx
+        ctx.clock.current_owner = entry.session.query_id
+        for device in ctx.devices.values():
+            device.bind_query(  # type: ignore[attr-defined]
+                entry.session.query_id,
+                data_scale=ctx.data_scale,
+                memory_budget=entry.session.memory_budget,
+            )
+
+    @staticmethod
+    def _unbind(entry: _InFlight) -> None:
+        ctx = entry.model.ctx
+        ctx.clock.current_owner = None
+        for device in ctx.devices.values():
+            device.unbind_query()  # type: ignore[attr-defined]
+
+    def _release(self, entry: _InFlight, *, failed: bool = False) -> None:
+        """Release the finished (or aborted) query's device-side state."""
+        ctx = entry.model.ctx
+        query_id = entry.session.query_id
+        for device in ctx.devices.values():
+            residency = getattr(device, "residency", None)
+            if residency is not None:
+                residency.release_query(query_id)
+            if self.reclaim or failed:
+                device.memory.free_owner(  # type: ignore[attr-defined]
+                    query_id, at_time=ctx.clock.now())
+            device.memory.set_budget(  # type: ignore[attr-defined]
+                query_id, None)

@@ -1,0 +1,90 @@
+"""Query sessions: admission tickets into the multi-query engine."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.context import QueryContext, QueryResult
+from repro.errors import AdamantError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.engine import Engine
+
+__all__ = ["QuerySession"]
+
+
+class QuerySession:
+    """One admitted query's identity and lifecycle inside an engine.
+
+    A session is created by :meth:`Engine.open_session` (which enforces
+    the engine's concurrency limit), carries the query's unique id and
+    per-device memory budget, and records the outcome — the result and
+    per-query makespan on success, the error on failure.  Closing the
+    session releases its residency-cache pins, memory budget, and any
+    buffers still charged to it on the engine's devices.
+
+    Use as a context manager for deterministic cleanup::
+
+        with engine.open_session(memory_budget=2**30) as session:
+            result = engine.execute(graph, catalog, session=session)
+    """
+
+    def __init__(self, engine: "Engine", query_id: str, *,
+                 memory_budget: int | None = None, label: str = "") -> None:
+        self.engine = engine
+        self.query_id = query_id
+        self.memory_budget = memory_budget
+        self.label = label or query_id
+        self.state = "open"
+        self.result: QueryResult | None = None
+        self.error: AdamantError | None = None
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def makespan(self) -> float | None:
+        """The query's own simulated runtime (None until finished)."""
+        return self.result.stats.makespan if self.result else None
+
+    def query_context(self, *, alias_prefix: str | None = None,
+                      epoch_start: float = 0.0) -> QueryContext:
+        """The :class:`QueryContext` threaded through this session's run."""
+        prefix = (f"{self.query_id}:" if alias_prefix is None
+                  else alias_prefix)
+        return QueryContext(
+            query_id=self.query_id,
+            alias_prefix=prefix,
+            memory_budget=self.memory_budget,
+            epoch_start=epoch_start,
+        )
+
+    def _record(self, result: QueryResult) -> None:
+        self.state = "finished"
+        self.result = result
+
+    def _fail(self, error: AdamantError) -> None:
+        self.state = "failed"
+        self.error = error
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self.state == "closed"
+
+    def close(self) -> None:
+        """Release the session's device-side state and free its slot."""
+        if self.state == "closed":
+            return
+        self.engine._close_session(self)
+        self.state = "closed"
+
+    def __enter__(self) -> "QuerySession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<QuerySession {self.query_id} [{self.state}]"
+                f" budget={self.memory_budget}>")

@@ -31,6 +31,15 @@ class DeviceMemoryError(DeviceError):
         self.available = available
 
 
+class QueryBudgetError(DeviceMemoryError):
+    """A query exceeded its per-session device-memory budget.
+
+    Raised instead of :class:`DeviceMemoryError` when the device still has
+    free capacity but the owning query's admission budget is exhausted, so
+    the engine can fail one query without disturbing co-running ones.
+    """
+
+
 class UnknownBufferError(DeviceError):
     """An operation referenced a buffer alias that is not allocated."""
 
@@ -88,6 +97,10 @@ class ExecutionError(RuntimeLayerError):
 
 class SchedulingError(RuntimeLayerError):
     """The virtual clock was asked to schedule an inconsistent event."""
+
+
+class QueryAdmissionError(RuntimeLayerError):
+    """The engine refused to admit a query session (concurrency limit)."""
 
 
 # ---------------------------------------------------------------------------

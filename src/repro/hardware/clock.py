@@ -41,6 +41,9 @@ class Event:
             ``alloc`` ...) used by the instrumentation that reproduces
             Figure 10 (abstraction overhead).
         nbytes: Payload size for transfer events (0 otherwise).
+        owner: Query id the event was charged to (empty outside engine
+            runs); the engine's per-query makespan accounting filters on
+            it when several queries share one timeline.
     """
 
     eid: int
@@ -50,6 +53,7 @@ class Event:
     end: float
     category: str = "compute"
     nbytes: int = 0
+    owner: str = ""
 
     @property
     def duration(self) -> float:
@@ -86,6 +90,13 @@ class VirtualClock:
         self._streams: dict[str, Stream] = {}
         self._events: list[Event] = []
         self._ids = itertools.count()
+        #: Epoch counter: a long-lived engine advances an epoch per query
+        #: batch instead of resetting the timeline, so device state (and
+        #: the residency cache) survives between queries.
+        self.epoch = 0
+        self.epoch_start = 0.0
+        #: Query id new events are charged to (set by the scheduler).
+        self.current_owner: str | None = None
 
     # -- stream management --------------------------------------------------
 
@@ -134,6 +145,7 @@ class VirtualClock:
             end=start + duration,
             category=category,
             nbytes=nbytes,
+            owner=self.current_owner or "",
         )
         s.available_at = event.end
         s.events.append(event)
@@ -186,8 +198,32 @@ class VirtualClock:
             (e.start, e.end, e.stream, e.label) for e in self._events
         )
 
+    def begin_epoch(self) -> float:
+        """Open a new epoch at the current time and return its start.
+
+        The engine calls this between queries instead of :meth:`reset`:
+        events and stream positions are preserved (device buffers stay
+        meaningful), but per-query accounting measures from the epoch
+        start rather than from zero.
+        """
+        self.epoch += 1
+        self.epoch_start = self.now()
+        return self.epoch_start
+
+    def events_of(self, owner: str) -> list[Event]:
+        """Events charged to *owner* plus unowned (engine-free) events."""
+        return [e for e in self._events if e.owner in (owner, "")]
+
+    def drop_stream(self, name: str) -> None:
+        """Forget a stream's position (used when a device is unplugged);
+        its already-recorded events remain on the timeline."""
+        self._streams.pop(name, None)
+
     def reset(self) -> None:
         """Forget all events and stream positions (fresh timeline)."""
         self._streams.clear()
         self._events.clear()
         self._ids = itertools.count()
+        self.epoch = 0
+        self.epoch_start = 0.0
+        self.current_owner = None

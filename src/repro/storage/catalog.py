@@ -18,13 +18,20 @@ class Catalog:
     The runtime's ``load_data`` resolves ``table.column`` references
     against a catalog, so everything the executor touches flows through
     here.
+
+    Attributes:
+        version: Monotonic change counter bumped by :meth:`add`; the
+            engine's cross-query residency cache tags cached columns with
+            it and drops them when the catalog changes underneath.
     """
 
     tables: dict[str, Table] = field(default_factory=dict)
+    version: int = 0
 
     def add(self, table: Table) -> None:
         """Register *table*; replaces any previous table of the same name."""
         self.tables[table.name] = table
+        self.version += 1
 
     def table(self, name: str) -> Table:
         try:

@@ -1,6 +1,5 @@
 """Tests for the benchmark reporting helpers."""
 
-import pytest
 
 from repro.bench import Report, fmt_bytes, fmt_rate, fmt_seconds
 from repro.bench.report import RESULTS_DIR

@@ -73,6 +73,7 @@ class TestCopyComputeOverlap:
         c1 = clock.schedule("compute", 1.0, deps=[t1])
         t2 = clock.schedule("transfer", 2.0)
         c2 = clock.schedule("compute", 1.0, deps=[t2])
+        assert c1.start == 2.0
         assert t2.start == 2.0  # overlaps c1
         assert c2.end == 5.0  # transfer-bound: 2+2+1
 

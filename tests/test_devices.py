@@ -15,7 +15,7 @@ from repro.errors import (
     DeviceNotInitializedError,
     KernelCompilationError,
 )
-from repro.hardware import CPU_I7_8700, GPU_RTX_2080_TI, Sdk, VirtualClock
+from repro.hardware import CPU_I7_8700, GPU_RTX_2080_TI, Sdk
 from repro.task import KernelContainer, default_registry
 
 REGISTRY = default_registry()

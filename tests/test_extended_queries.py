@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.devices import CudaDevice, OpenCLDevice, OpenMPDevice
+from repro.devices import OpenCLDevice, OpenMPDevice
 from repro.errors import SignatureError
 from repro.hardware import CPU_I7_8700, GPU_RTX_2080_TI
 from repro.primitives import kernels

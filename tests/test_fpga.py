@@ -1,6 +1,5 @@
 """Tests for the FPGA driver (Section III-A2 integration case study)."""
 
-import numpy as np
 import pytest
 
 from repro.core.executor import AdamantExecutor

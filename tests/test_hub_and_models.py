@@ -5,17 +5,16 @@ import pytest
 
 from repro.core.context import ExecutionContext, cardinality
 from repro.core.executor import AdamantExecutor
-from repro.core.graph import PrimitiveGraph
 from repro.core.hub import DataTransferHub
 from repro.core.models import MODELS, shallow_hash_pipeline
 from repro.core.pipelines import split_pipelines
-from repro.devices import CudaDevice, OpenCLDevice, OpenMPDevice
+from repro.devices import CudaDevice, OpenMPDevice
 from repro.errors import DeviceMemoryError, ExecutionError
 from repro.hardware import CPU_I7_8700, GPU_RTX_2080_TI, VirtualClock
 from repro.primitives.values import Bitmap, JoinPairs, PositionList, PrefixSum
 from repro.task import default_registry
-from repro.tpch import generate, reference
-from repro.tpch.queries import q1, q3, q4, q6
+from repro.tpch import reference
+from repro.tpch.queries import q3, q4, q6
 from tests.conftest import make_executor
 
 
