@@ -31,6 +31,17 @@ __all__ = ["main"]
 QUERIES = {"q1": q1, "q3": q3, "q4": q4, "q5": q5, "q6": q6,
            "q10": q10, "q12": q12, "q14": q14, "q18": q18, "q19": q19}
 
+#: Queries whose ``build()`` needs the catalog (selectivity-dependent
+#: literals resolved against the generated data).
+CATALOG_QUERIES = ("q3", "q5", "q10", "q12", "q14", "q19")
+
+ORACLES = {
+    "q1": reference.q1, "q3": reference.q3, "q4": reference.q4,
+    "q5": reference.q5, "q6": reference.q6, "q10": reference.q10,
+    "q12": reference.q12, "q14": reference.q14, "q18": reference.q18,
+    "q19": reference.q19,
+}
+
 DRIVERS = {
     "cuda": (CudaDevice, "GPU"),
     "opencl-gpu": (OpenCLDevice, "GPU"),
@@ -80,6 +91,8 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--sf", type=float, default=0.005)
     validate.add_argument("--seed", type=int, default=42)
     validate.add_argument("--chunk-size", type=int, default=2048)
+    validate.add_argument("--no-fuse", action="store_true",
+                          help="disable the kernel-fusion pass")
 
     concurrent = sub.add_parser(
         "concurrent",
@@ -101,6 +114,8 @@ def _build_parser() -> argparse.ArgumentParser:
     concurrent.add_argument("--rounds", type=int, default=2,
                             help="repeat the batch to show the residency "
                                  "cache warming up (default 2)")
+    concurrent.add_argument("--no-fuse", action="store_true",
+                            help="disable the kernel-fusion pass")
 
     for name, help_text in (("run", "run one query under one model"),
                             ("compare", "run one query under all models")):
@@ -118,6 +133,9 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="logical rows represented per physical row")
         cmd.add_argument("--memory-limit", type=int, default=None,
                          help="cap the device memory in bytes")
+        cmd.add_argument("--no-fuse", action="store_true",
+                         help="disable the kernel-fusion pass (MAP/FILTER "
+                              "chains run as individual kernels)")
         if name == "run":
             cmd.add_argument("--model", choices=sorted(MODELS),
                              default="chunked")
@@ -134,20 +152,35 @@ def _make_executor(args) -> AdamantExecutor:
     return executor
 
 
-def _build_graph(args, catalog):
-    module = QUERIES[args.query]
-    if args.query in ("q3", "q5", "q10", "q12", "q14", "q19"):
+def _query_module(name: str):
+    """The query module for *name*, exiting cleanly if unknown.
+
+    Argparse ``choices`` already rejects bad names on the typed-out
+    subcommands; this guards every other lookup path (and future
+    callers) with a clear message instead of a KeyError traceback.
+    """
+    try:
+        return QUERIES[name]
+    except KeyError:
+        print(f"unknown query {name!r}; available: "
+              f"{', '.join(sorted(QUERIES))}", file=sys.stderr)
+        raise SystemExit(2) from None
+
+
+def _build_query(name: str, catalog):
+    """Build *name*'s primitive graph (some plans need the catalog)."""
+    module = _query_module(name)
+    if name in CATALOG_QUERIES:
         return module, module.build(catalog)
     return module, module.build()
 
 
+def _build_graph(args, catalog):
+    return _build_query(args.query, catalog)
+
+
 def _oracle(args, catalog):
-    return {
-        "q1": reference.q1, "q3": reference.q3, "q4": reference.q4,
-        "q5": reference.q5, "q6": reference.q6, "q12": reference.q12,
-        "q10": reference.q10, "q14": reference.q14,
-        "q18": reference.q18, "q19": reference.q19,
-    }[args.query](catalog)
+    return _oracle_for(args.query, catalog)
 
 
 def cmd_devices(_args) -> int:
@@ -204,10 +237,8 @@ def cmd_validate(args) -> int:
     models = sorted(MODELS)
     print(f"validating {len(QUERIES)} queries x {len(models)} models x "
           f"{len(DRIVERS)} drivers at SF {args.sf}")
-    for qname, module in sorted(QUERIES.items()):
-        graph = (module.build(catalog)
-                 if qname in ("q3", "q5", "q10", "q12", "q14", "q19")
-                 else module.build())
+    for qname in sorted(QUERIES):
+        module, graph = _build_query(qname, catalog)
         expected = _oracle_for(qname, catalog)
         for driver_name in sorted(DRIVERS):
             driver, kind = DRIVERS[driver_name]
@@ -218,7 +249,8 @@ def cmd_validate(args) -> int:
             for model in models:
                 try:
                     result = executor.run(graph, catalog, model=model,
-                                          chunk_size=args.chunk_size)
+                                          chunk_size=args.chunk_size,
+                                          fuse=not args.no_fuse)
                     answer = module.finalize(result, catalog)
                     ok = (abs(answer - expected) < 1e-9
                           if isinstance(answer, float)
@@ -235,12 +267,13 @@ def cmd_validate(args) -> int:
 
 
 def _oracle_for(qname: str, catalog):
-    return {
-        "q1": reference.q1, "q3": reference.q3, "q4": reference.q4,
-        "q5": reference.q5, "q6": reference.q6, "q12": reference.q12,
-        "q10": reference.q10, "q14": reference.q14,
-        "q18": reference.q18, "q19": reference.q19,
-    }[qname](catalog)
+    try:
+        oracle = ORACLES[qname]
+    except KeyError:
+        print(f"no oracle for query {qname!r}; available: "
+              f"{', '.join(sorted(ORACLES))}", file=sys.stderr)
+        raise SystemExit(2) from None
+    return oracle(catalog)
 
 
 def cmd_run(args) -> int:
@@ -249,17 +282,21 @@ def cmd_run(args) -> int:
     module, graph = _build_graph(args, catalog)
     result = executor.run(graph, catalog, model=args.model,
                           chunk_size=args.chunk_size,
-                          data_scale=args.data_scale)
+                          data_scale=args.data_scale,
+                          fuse=not args.no_fuse)
     answer = module.finalize(result, catalog)
     expected = _oracle(args, catalog)
     matches = (answer == expected if not isinstance(answer, float)
                else abs(answer - expected) < 1e-9)
-    print(f"query={args.query} model={args.model} driver={args.driver}")
+    print(f"query={args.query} model={args.model} driver={args.driver} "
+          f"fuse={not args.no_fuse}")
     print(f"result: {answer}")
     print(f"oracle match: {matches}")
     print(f"simulated time: {result.stats.makespan:.6f} s "
           f"({result.stats.chunks_processed} chunks, "
-          f"{result.stats.kernel_invocations} kernels)")
+          f"{result.stats.kernel_invocations} kernels, "
+          f"{result.stats.kernels_launched} launches, "
+          f"{result.stats.fused_nodes} fused nodes)")
     return 0 if matches else 1
 
 
@@ -278,7 +315,8 @@ def cmd_compare(args) -> int:
         try:
             result = executor.run(graph, catalog, model=model,
                                   chunk_size=args.chunk_size,
-                                  data_scale=args.data_scale)
+                                  data_scale=args.data_scale,
+                                  fuse=not args.no_fuse)
         except Exception as error:  # OOM for oaat is expected behaviour
             print(f"{model:24s} --   {type(error).__name__}: {error}")
             continue
@@ -317,11 +355,10 @@ def cmd_concurrent(args) -> int:
 
     def batch():
         return [QueryRequest(
-            graph=(QUERIES[name].build(catalog)
-                   if name in ("q3", "q5", "q10", "q12", "q14", "q19")
-                   else QUERIES[name].build()),
+            graph=_build_query(name, catalog)[1],
             catalog=catalog, model=args.model, chunk_size=args.chunk_size,
             data_scale=args.data_scale, label=name,
+            fuse=not args.no_fuse,
         ) for name in names]
 
     status = 0

@@ -89,6 +89,10 @@ class ExecutionStats:
     #: the interconnect, and the logical H2D bytes that avoided.
     residency_hits: int = 0
     residency_hit_bytes: int = 0
+    #: Host-side kernel launches charged to the query, and the number of
+    #: fused MAP/FILTER nodes in the executed graph (0 without fusion).
+    kernels_launched: int = 0
+    fused_nodes: int = 0
 
     @property
     def compute_time(self) -> float:
@@ -126,7 +130,8 @@ class ExecutionContext:
                  devices: dict[str, Device], registry: TaskRegistry,
                  clock: VirtualClock, chunk_size: int,
                  default_device: str, data_scale: int = 1,
-                 query: QueryContext | None = None) -> None:
+                 query: QueryContext | None = None,
+                 fuse: bool = False) -> None:
         if not devices:
             raise ExecutionError("no devices plugged into the executor")
         if default_device not in devices:
@@ -142,6 +147,11 @@ class ExecutionContext:
                 f"rows (bitmap word alignment after descaling), got "
                 f"{chunk_size} with data_scale={data_scale}"
             )
+        if fuse:
+            # Imported lazily: the planner imports core.graph, so a
+            # module-level import here would be circular.
+            from repro.planner.fusion import fuse_graph
+            graph = fuse_graph(graph)
         self.graph = graph
         self.catalog = catalog
         self.devices = devices
@@ -204,4 +214,8 @@ class ExecutionContext:
             residency_hits=sum(1 for e in events if e.category == "cache"),
             residency_hit_bytes=sum(e.nbytes for e in events
                                     if e.category == "cache"),
+            kernels_launched=sum(1 for e in events
+                                 if e.category == "launch"),
+            fused_nodes=sum(1 for n in self.graph.nodes.values()
+                            if n.primitive == "fused_map_filter"),
         )

@@ -102,7 +102,7 @@ class AdamantExecutor:
     def run(self, graph: PrimitiveGraph, catalog: Catalog, *,
             model: str = "chunked", chunk_size: int = DEFAULT_CHUNK_SIZE,
             default_device: str | None = None,
-            data_scale: int = 1) -> QueryResult:
+            data_scale: int = 1, fuse: bool = False) -> QueryResult:
         """Execute *graph* against *catalog* under one execution model.
 
         Each run starts on a fresh timeline: the clock is reset and every
@@ -117,8 +117,12 @@ class AdamantExecutor:
                 accounting scale accordingly, so paper-scale runs (SF 100)
                 execute on small physical arrays with the exact
                 large-scale cost structure (see DESIGN.md section 2).
+            fuse: Apply the planner's kernel-fusion pass (collapse
+                MAP/FILTER chains into single fused kernels) before
+                execution.  Off by default for plan-shape stability.
         """
         return self._engine.execute(graph, catalog, model=model,
                                     chunk_size=chunk_size,
                                     default_device=default_device,
-                                    data_scale=data_scale, fresh=True)
+                                    data_scale=data_scale, fresh=True,
+                                    fuse=fuse)

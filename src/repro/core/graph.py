@@ -123,6 +123,15 @@ class PrimitiveGraph:
         self.edges: list[DataEdge] = []
         self.outputs: list[str] = []
         self._edge_ids = itertools.count()
+        # Derived-structure caches (topological order, pipeline split).
+        # Chunked/pipelined models recompute these per chunk otherwise;
+        # any structural mutation invalidates them.
+        self._topo_cache: list[str] | None = None
+        self._pipeline_cache: list | None = None
+
+    def _invalidate_caches(self) -> None:
+        self._topo_cache = None
+        self._pipeline_cache = None
 
     # -- construction -------------------------------------------------------
 
@@ -141,6 +150,7 @@ class PrimitiveGraph:
             hints=hints or {}, variant=variant,
         )
         self.nodes[node_id] = node
+        self._invalidate_caches()
         return node
 
     def connect(self, source: str | ScanSource, target: str,
@@ -159,6 +169,7 @@ class PrimitiveGraph:
             input_index=input_index,
         )
         self.edges.append(edge)
+        self._invalidate_caches()
         return edge
 
     def mark_output(self, node_id: str) -> None:
@@ -167,6 +178,7 @@ class PrimitiveGraph:
             raise GraphValidationError(f"unknown output node {node_id!r}")
         if node_id not in self.outputs:
             self.outputs.append(node_id)
+            self._invalidate_caches()
 
     # -- queries ---------------------------------------------------------------
 
@@ -188,7 +200,13 @@ class PrimitiveGraph:
         })
 
     def topological_order(self) -> list[str]:
-        """Node ids in dependency order; raises on cycles."""
+        """Node ids in dependency order; raises on cycles.
+
+        The order is cached until the graph is mutated — chunked models
+        would otherwise re-sort the same structure once per chunk.
+        """
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
         incoming = {
             nid: sum(1 for e in self.in_edges(nid) if not e.is_scan)
             for nid in self.nodes
@@ -208,6 +226,7 @@ class PrimitiveGraph:
                 f"graph {self.name!r} has a cycle among "
                 f"{sorted(set(self.nodes) - set(order))}"
             )
+        self._topo_cache = list(order)
         return order
 
     # -- validation -------------------------------------------------------------

@@ -47,7 +47,13 @@ class Pipeline:
 
 
 def split_pipelines(graph: PrimitiveGraph) -> list[Pipeline]:
-    """Partition *graph* into pipelines in dependency order."""
+    """Partition *graph* into pipelines in dependency order.
+
+    The split is cached on the graph until it is mutated; callers treat
+    the returned :class:`Pipeline` objects as read-only.
+    """
+    if graph._pipeline_cache is not None:
+        return list(graph._pipeline_cache)
     order = graph.topological_order()
 
     # Union-find over nodes; edges out of breakers are cut.
@@ -119,4 +125,5 @@ def split_pipelines(graph: PrimitiveGraph) -> list[Pipeline]:
                     if edge.source not in pipeline.external_inputs:
                         pipeline.external_inputs.append(edge.source)
         pipelines.append(pipeline)
+    graph._pipeline_cache = list(pipelines)
     return pipelines

@@ -453,26 +453,37 @@ class SimulatedDevice(Device):
         result = task.container(*values, **task.params)
         self._check_output_semantic(task.container.primitive, result)
         cost_params = dict(task.cost_params)
+        # A fused node (planner.fusion) charges ONE launch whose argument
+        # count is the summed per-step mapping cost, and one fused sweep
+        # instead of per-node kernel times.
+        fused_steps = cost_params.pop("fused_steps", None)
+        fused_num_args = cost_params.pop("fused_num_args", None)
         if "groups" not in cost_params and hasattr(result, "num_groups"):
             # Group cardinality scales with the data (e.g. Q3's orderkey
             # groups); plans with fixed group counts (Q1, Q4) override via
             # cost_params.
             cost_params["groups"] = max(1, result.num_groups * self.data_scale)
 
+        num_args = (task.container.num_args if fused_num_args is None
+                    else int(fused_num_args))
         launch = self.clock.schedule(
             self.compute_stream,
-            self.cost.launch_seconds(task.container.num_args),
+            self.cost.launch_seconds(num_args),
             label=f"{self.name}:launch:{task.container.primitive}",
             deps=wait,
             category="launch",
         )
-        cost_key = (task.container.cost_key
-                    or definition(task.container.primitive).cost_key)
+        logical_n = task.n_elements * self.data_scale
+        if fused_steps is not None:
+            duration = self.cost.fused_kernel_seconds(fused_steps, logical_n)
+        else:
+            cost_key = (task.container.cost_key
+                        or definition(task.container.primitive).cost_key)
+            duration = self.cost.kernel_seconds(cost_key, logical_n,
+                                                **cost_params)
         event = self.clock.schedule(
             self.compute_stream,
-            self.cost.kernel_seconds(cost_key,
-                                     task.n_elements * self.data_scale,
-                                     **cost_params),
+            duration,
             label=f"{self.name}:run:{task.container.primitive}",
             deps=[launch],
             category="compute",

@@ -60,6 +60,9 @@ class QueryRequest:
     data_scale: int = 1
     memory_budget: int | None = None
     label: str = ""
+    #: Run the planner's kernel-fusion pass over the graph before
+    #: execution (collapses MAP/FILTER chains into single kernels).
+    fuse: bool = False
 
 
 class Engine:
@@ -177,7 +180,7 @@ class Engine:
                 default_device: str | None = None, data_scale: int = 1,
                 session: QuerySession | None = None,
                 memory_budget: int | None = None,
-                fresh: bool = False) -> QueryResult:
+                fresh: bool = False, fuse: bool = False) -> QueryResult:
         """Execute one query on the engine's devices.
 
         In engine mode (default) the query runs in a new clock *epoch* on
@@ -194,12 +197,15 @@ class Engine:
                 session (ignored when *session* is given).
             fresh: Reset the world first and skip sessions/residency
                 bookkeeping entirely.
+            fuse: Apply the planner's kernel-fusion pass to the graph
+                before execution.
         """
         model_cls = self._resolve_model(model)
         if fresh:
             return self._execute_fresh(
                 model_cls, graph, catalog, chunk_size=chunk_size,
-                default_device=default_device, data_scale=data_scale)
+                default_device=default_device, data_scale=data_scale,
+                fuse=fuse)
 
         auto = session is None
         if auto:
@@ -209,7 +215,7 @@ class Engine:
             model_obj = self._build_model(
                 model_cls, session, graph, catalog, chunk_size=chunk_size,
                 default_device=default_device, data_scale=data_scale,
-                epoch_start=epoch_start)
+                epoch_start=epoch_start, fuse=fuse)
             self._scheduler.run([(session, model_obj)])
             if session.error is not None:
                 raise session.error
@@ -260,7 +266,7 @@ class Engine:
                         chunk_size=request.chunk_size,
                         default_device=request.default_device,
                         data_scale=request.data_scale,
-                        epoch_start=epoch_start)
+                        epoch_start=epoch_start, fuse=request.fuse)
                     work.append((session, model_obj))
                 self._scheduler.run(work)
                 failure: Exception | None = None
@@ -309,25 +315,27 @@ class Engine:
                      session: QuerySession, graph: PrimitiveGraph,
                      catalog: Catalog, *, chunk_size: int,
                      default_device: str | None, data_scale: int,
-                     epoch_start: float) -> ExecutionModel:
+                     epoch_start: float, fuse: bool = False
+                     ) -> ExecutionModel:
         ctx = self._context(
             graph, catalog, chunk_size=chunk_size,
             default_device=default_device, data_scale=data_scale,
             query=session.query_context(epoch_start=epoch_start),
+            fuse=fuse,
         )
         return model_cls(ctx)
 
     def _execute_fresh(self, model_cls: type[ExecutionModel],
                        graph: PrimitiveGraph, catalog: Catalog, *,
                        chunk_size: int, default_device: str | None,
-                       data_scale: int) -> QueryResult:
+                       data_scale: int, fuse: bool = False) -> QueryResult:
         """Single-shot semantics: reset the timeline and devices, run."""
         self.clock.reset()
         for device in self.devices.values():
             device.reset(data_scale=data_scale)
         ctx = self._context(graph, catalog, chunk_size=chunk_size,
                             default_device=default_device,
-                            data_scale=data_scale)
+                            data_scale=data_scale, fuse=fuse)
         return model_cls(ctx).run()
 
     # -- statistics ----------------------------------------------------------

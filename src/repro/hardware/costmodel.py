@@ -128,6 +128,26 @@ class CostModel:
             raise SchedulingError(f"non-positive rate for {primitive!r}")
         return n_elements / rate
 
+    def fused_kernel_seconds(self, steps, n_elements: int) -> float:
+        """Execution time of one fused MAP/FILTER kernel.
+
+        Args:
+            steps: ``(cost_key, reads_memory)`` per fused step, in order
+                (built by the fusion pass).  Steps that stream an
+                external operand from device memory are charged
+                ``FUSED_EXTERNAL_STEP_FACTOR`` of their standalone time;
+                steps operating purely on register-resident values from
+                earlier steps cost ``FUSED_INTERNAL_STEP_FACTOR``.
+            n_elements: Row domain of the fused pass (all steps are
+                element-wise over the same domain).
+        """
+        total = 0.0
+        for cost_key, reads_memory in steps:
+            factor = (cal.FUSED_EXTERNAL_STEP_FACTOR if reads_memory
+                      else cal.FUSED_INTERNAL_STEP_FACTOR)
+            total += self.kernel_seconds(cost_key, n_elements) * factor
+        return total
+
     def throughput(self, primitive: str, n_elements: int, *,
                    groups: int | None = None) -> float:
         """Elements/second for *primitive* (the y-axis of Figures 5 and 9)."""

@@ -19,7 +19,7 @@ import json
 
 from repro.hardware.clock import Event, VirtualClock
 
-__all__ = ["to_chrome_trace", "ascii_gantt", "overlap_ratio"]
+__all__ = ["to_chrome_trace", "ascii_gantt", "overlap_ratio", "counters"]
 
 #: Category -> single-character glyph for the ASCII chart.
 _GLYPHS = {
@@ -31,6 +31,23 @@ _GLYPHS = {
     "transform": "x",
     "setup": "s",
 }
+
+
+def counters(clock: VirtualClock) -> dict[str, int]:
+    """Launch counters of the recorded timeline.
+
+    ``kernels_launched`` counts every host-side launch event;
+    ``fused_kernels_launched`` the subset that launched the planner's
+    fused MAP/FILTER kernel.  The difference before/after fusion is the
+    launch-overhead saving the pass buys.
+    """
+    launches = [e for e in clock.events if e.category == "launch"]
+    return {
+        "kernels_launched": len(launches),
+        "fused_kernels_launched": sum(
+            1 for e in launches
+            if (e.label or "").endswith(":fused_map_filter")),
+    }
 
 
 def to_chrome_trace(clock: VirtualClock, *, process_name: str = "adamant",
@@ -58,6 +75,12 @@ def to_chrome_trace(clock: VirtualClock, *, process_name: str = "adamant",
             "tid": tid,
             "args": {"name": name},
         })
+    events.append({
+        "name": "counters",
+        "ph": "M",
+        "pid": 0,
+        "args": counters(clock),
+    })
     for event in clock.events:
         events.append({
             "name": event.label or event.category,

@@ -1,5 +1,11 @@
 """Logical plans and their translation into primitive graphs."""
 
+from repro.planner.fusion import (
+    FUSED_PRIMITIVE,
+    FUSIBLE,
+    MAX_FUSED_INPUTS,
+    fuse_graph,
+)
 from repro.planner.logical import (
     AggregateSpec,
     Derive,
@@ -23,6 +29,10 @@ from repro.planner.translate import translate
 
 __all__ = [
     "translate",
+    "fuse_graph",
+    "FUSED_PRIMITIVE",
+    "FUSIBLE",
+    "MAX_FUSED_INPUTS",
     "annotate_devices",
     "estimate_pipeline_seconds",
     "PlacementReport",

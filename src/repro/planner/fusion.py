@@ -1,0 +1,213 @@
+"""Kernel fusion pass: collapse MAP/FILTER chains into one fused node.
+
+ADAMANT executes every primitive of a pipeline as its own kernel, paying
+one launch plus one intermediate buffer per node — the abstraction
+overhead the paper measures in Figure 10.  Generating one kernel for a
+whole chain of data-parallel operators is the classic counter-move (Breß
+et al., "Generating Custom Code for Efficient Query Execution on
+Heterogeneous Processors"; Ozawa & Goda, "Data Path Fusion in GPU for
+Analytical Query Processing").
+
+:func:`fuse_graph` rewrites a :class:`~repro.core.graph.PrimitiveGraph`
+before execution: maximal chains of non-breaker, single-consumer,
+element-wise nodes (MAP expressions including ``between`` indicators,
+FILTER_BITMAP / FILTER_POSITION, ``bitmap_and`` / ``bitmap_or``) are
+collapsed into a single ``fused_map_filter`` node whose parameter block
+is the ordered list of fused steps.  The fused kernel
+(:mod:`repro.primitives.kernels.fused`) evaluates the steps in one pass
+per chunk without materializing intermediate bitmaps or columns, and the
+cost model charges one launch (with summed arg-mapping cost) plus a
+single fused sweep instead of per-node kernels.  Interior edges — and
+with them the hub routing and intermediate output buffers they would
+have required — disappear from the rewritten graph entirely.
+
+A producer is merged into its consumer only when the merge is safe:
+
+* both primitives are in :data:`FUSIBLE` (element-wise over one row
+  domain, never pipeline breakers);
+* every out-edge of the producer targets that one consumer (no
+  multi-consumer intermediates — their value is needed as a real
+  buffer);
+* the producer is not a query output (its value must be retrievable);
+* both nodes carry the same device annotation and kernel-variant pin.
+
+Groups therefore always lie inside one pipeline, and each group is a
+tree whose root — the unique member never merged upward — keeps its node
+id, so downstream edges and ``mark_output`` declarations are untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.graph import PrimitiveGraph, ScanSource
+
+__all__ = ["FUSED_PRIMITIVE", "FUSIBLE", "MAX_FUSED_INPUTS", "fuse_graph"]
+
+#: Name of the synthetic primitive a fused chain collapses into.
+FUSED_PRIMITIVE = "fused_map_filter"
+
+#: Primitives eligible for fusion: element-wise, non-breaker, one value
+#: per input row (``between`` indicators are MAP ops and ride along).
+FUSIBLE = frozenset({
+    "map", "filter_bitmap", "filter_position", "bitmap_and", "bitmap_or",
+})
+
+#: Input-slot budget of the fused primitive definition; groups needing
+#: more external inputs are left unfused.
+MAX_FUSED_INPUTS = 16
+
+
+@dataclass
+class _FusionPlan:
+    """Blueprint of one fused node (group exit keeps its node id)."""
+
+    exit_id: str
+    members: list[str]
+    steps: list[dict] = field(default_factory=list)
+    externals: list[ScanSource | str] = field(default_factory=list)
+    cost_steps: list[tuple[str, bool]] = field(default_factory=list)
+    num_args: int = 0
+
+
+def _mergeable_consumer(graph: PrimitiveGraph, nid: str,
+                        outputs: set[str]) -> str | None:
+    """The single consumer *nid* may be merged into, or None."""
+    node = graph.nodes[nid]
+    if node.primitive not in FUSIBLE or nid in outputs:
+        return None
+    out = graph.out_edges(nid)
+    targets = {e.target for e in out}
+    if len(targets) != 1:
+        return None
+    (target_id,) = targets
+    target = graph.nodes[target_id]
+    if target.primitive not in FUSIBLE:
+        return None
+    if target.device != node.device or target.variant != node.variant:
+        return None
+    return target_id
+
+
+def _plan_group(graph: PrimitiveGraph, members: list[str],
+                merged_up: set[str]) -> _FusionPlan | None:
+    """Compile one group (members in topological order) into a plan.
+
+    Returns None when the group would exceed the fused primitive's
+    input-slot budget — such groups stay unfused.
+    """
+    member_set = set(members)
+    (exit_id,) = [nid for nid in members if nid not in merged_up]
+    plan = _FusionPlan(exit_id=exit_id, members=members)
+    ext_slot: dict[tuple[str, str], int] = {}
+    for nid in members:
+        node = graph.nodes[nid]
+        args: list[tuple[str, object]] = []
+        reads_memory = False
+        for edge in graph.in_edges(nid):
+            if not edge.is_scan and edge.source in member_set:
+                args.append(("step", edge.source))
+                continue
+            key = (("scan", edge.source.ref) if edge.is_scan
+                   else ("node", edge.source))
+            if key not in ext_slot:
+                if len(plan.externals) >= MAX_FUSED_INPUTS:
+                    return None
+                ext_slot[key] = len(plan.externals)
+                plan.externals.append(edge.source)
+            args.append(("input", ext_slot[key]))
+            reads_memory = True
+        plan.steps.append({
+            "id": nid,
+            "primitive": node.primitive,
+            "params": dict(node.params),
+            "args": args,
+        })
+        plan.cost_steps.append((node.defn.cost_key, reads_memory))
+        plan.num_args += len(args) + 1  # inputs plus the step's output
+    return plan
+
+
+def fuse_graph(graph: PrimitiveGraph) -> PrimitiveGraph:
+    """Rewrite *graph*, collapsing fusible chains into fused nodes.
+
+    Returns a new graph (the input is never mutated); when nothing can be
+    fused, the input graph itself is returned unchanged.
+    """
+    order = graph.topological_order()
+    outputs = set(graph.outputs)
+
+    # Union-find over merge edges (producer -> its single consumer).
+    parent = {nid: nid for nid in graph.nodes}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    merged_up: set[str] = set()
+    for nid in order:
+        target_id = _mergeable_consumer(graph, nid, outputs)
+        if target_id is None:
+            continue
+        ra, rb = find(nid), find(target_id)
+        if ra != rb:
+            parent[ra] = rb
+        merged_up.add(nid)
+
+    groups: dict[str, list[str]] = {}
+    for nid in order:  # members stay in topological order
+        groups.setdefault(find(nid), []).append(nid)
+
+    plans: dict[str, _FusionPlan] = {}
+    for members in groups.values():
+        if len(members) < 2:
+            continue
+        plan = _plan_group(graph, members, merged_up)
+        if plan is not None:
+            plans[plan.exit_id] = plan
+    if not plans:
+        return graph
+
+    fused_away = {
+        nid for plan in plans.values() for nid in plan.members
+        if nid != plan.exit_id
+    }
+
+    fused = PrimitiveGraph(graph.name)
+    for nid in order:
+        if nid in fused_away:
+            continue
+        node = graph.nodes[nid]
+        plan = plans.get(nid)
+        if plan is None:
+            fused.add_node(nid, node.primitive, params=dict(node.params),
+                           device=node.device,
+                           cost_params=dict(node.cost_params),
+                           hints=dict(node.hints), variant=node.variant)
+        else:
+            fused.add_node(
+                nid, FUSED_PRIMITIVE,
+                params={"steps": plan.steps},
+                device=node.device,
+                cost_params={"fused_steps": plan.cost_steps,
+                             "fused_num_args": plan.num_args},
+                hints=dict(node.hints),
+                variant=node.variant,
+            )
+    for nid in order:
+        if nid in fused_away:
+            continue
+        plan = plans.get(nid)
+        if plan is None:
+            for edge in graph.in_edges(nid):
+                fused.connect(edge.source, nid, edge.input_index)
+        else:
+            # Interior edges vanish; distinct external sources each get
+            # one deduplicated input slot.
+            for slot, source in enumerate(plan.externals):
+                fused.connect(source, nid, slot)
+    for out in graph.outputs:
+        fused.mark_output(out)
+    return fused

@@ -161,6 +161,29 @@ register_primitive(PrimitiveDefinition(
     estimate_output_bytes=_bitmap,
 ))
 
+def _fused_output(n: int, params: dict) -> int:
+    """Output size of a fused chain: whatever its exit step produces."""
+    steps = params.get("steps") or ()
+    exit_primitive = steps[-1]["primitive"] if steps else "map"
+    if exit_primitive in ("filter_bitmap", "bitmap_and", "bitmap_or"):
+        return _bitmap(n, params)
+    if exit_primitive == "filter_position":
+        return _selected(n, params)
+    return _full(n, params)
+
+
+register_primitive(PrimitiveDefinition(
+    name="fused_map_filter",
+    # The fusion pass wires one deduplicated edge per distinct external
+    # input; semantics are checked on the original graph before fusion.
+    inputs=(S.GENERIC,) * 16,
+    optional_inputs=15,
+    output=S.GENERIC,
+    pipeline_breaker=False,
+    cost_key="map",  # nominal; real charge comes from the fused steps
+    estimate_output_bytes=_fused_output,
+))
+
 register_primitive(PrimitiveDefinition(
     name="materialize",
     inputs=(S.NUMERIC, S.BITMAP),

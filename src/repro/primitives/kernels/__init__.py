@@ -7,6 +7,7 @@ from repro.primitives.kernels.filter import (
     filter_bitmap,
     filter_position,
 )
+from repro.primitives.kernels.fused import fused_map_filter
 from repro.primitives.kernels.hash_ops import (
     gather_payload,
     group_keys,
@@ -34,6 +35,7 @@ __all__ = [
     "filter_position",
     "bitmap_and",
     "bitmap_or",
+    "fused_map_filter",
     "materialize",
     "materialize_position",
     "agg_block",

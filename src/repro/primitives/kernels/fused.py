@@ -1,0 +1,94 @@
+"""FUSED_MAP_FILTER: one pass evaluating a whole MAP/FILTER chain.
+
+The fusion pass (:mod:`repro.planner.fusion`) collapses chains of
+element-wise primitives into a single node whose ``steps`` parameter is
+the ordered list of original invocations.  This kernel evaluates them in
+one sweep over the chunk: interior filter results stay plain boolean
+masks and map results stay register-resident arrays — no packed
+:class:`~repro.primitives.values.Bitmap` or intermediate column is
+materialized between steps.  Only the exit step's value is converted to
+the edge type the unfused plan would have produced, so downstream
+primitives (and query results) are byte-identical with and without
+fusion.
+
+Step format (built by the fusion pass)::
+
+    {"id": <node id>, "primitive": <fusible primitive name>,
+     "params": {...original node params...},
+     "args": [("input", slot) | ("step", producer id), ...]}
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignatureError
+from repro.primitives.kernels.filter import _mask
+from repro.primitives.kernels.map_ops import map_kernel
+from repro.primitives.values import Bitmap, PositionList
+
+__all__ = ["fused_map_filter"]
+
+#: Exit primitives whose fused result is packed into a Bitmap.
+_BITMAP_EXITS = ("filter_bitmap", "bitmap_and", "bitmap_or")
+
+
+def _as_bool_mask(value: object) -> np.ndarray:
+    """A BITMAP-semantic operand as an unpacked boolean mask.
+
+    Interior steps already produce masks; external Bitmap inputs (a
+    producer outside the fused group) are unpacked once on entry.
+    """
+    if isinstance(value, Bitmap):
+        return value.to_mask()
+    if isinstance(value, np.ndarray) and value.dtype == np.bool_:
+        return value
+    raise SignatureError(
+        f"fused bitmap step expects a Bitmap or boolean mask, "
+        f"got {type(value).__name__}"
+    )
+
+
+def fused_map_filter(*inputs: object, steps: list[dict]) -> object:
+    """Evaluate *steps* in order over the chunk's *inputs* in one pass."""
+    if not steps:
+        raise SignatureError("fused_map_filter needs at least one step")
+    produced: dict[str, object] = {}
+
+    def resolve(ref: tuple[str, object]) -> object:
+        kind, key = ref
+        if kind == "input":
+            if not 0 <= int(key) < len(inputs):
+                raise SignatureError(
+                    f"fused step references input {key} but only "
+                    f"{len(inputs)} inputs are wired"
+                )
+            return inputs[int(key)]
+        return produced[key]
+
+    value: object = None
+    for step in steps:
+        primitive = step["primitive"]
+        params = step.get("params", {})
+        args = [resolve(ref) for ref in step["args"]]
+        if primitive == "map":
+            value = map_kernel(*args, **params)
+        elif primitive in ("filter_bitmap", "filter_position"):
+            value = _mask(args[0], params.get("cmp"), params.get("value"),
+                          params.get("lo"), params.get("hi"))
+        elif primitive == "bitmap_and":
+            value = _as_bool_mask(args[0]) & _as_bool_mask(args[1])
+        elif primitive == "bitmap_or":
+            value = _as_bool_mask(args[0]) | _as_bool_mask(args[1])
+        else:
+            raise SignatureError(
+                f"primitive {primitive!r} is not fusible"
+            )
+        produced[step["id"]] = value
+
+    exit_primitive = steps[-1]["primitive"]
+    if exit_primitive in _BITMAP_EXITS:
+        return Bitmap.from_mask(_as_bool_mask(value))
+    if exit_primitive == "filter_position":
+        return PositionList(np.nonzero(value)[0])
+    return value

@@ -25,17 +25,22 @@ def register_map_op(name: str, fn: Callable[..., np.ndarray]) -> None:
     MAP_OPS[name] = fn
 
 
+def _as_int64(a: np.ndarray) -> np.ndarray:
+    """Widen to int64 without copying when the input already is int64."""
+    return a if a.dtype == np.int64 else a.astype(np.int64)
+
+
 def _binary(fn: Callable[[np.ndarray, np.ndarray], np.ndarray]):
     def wrapped(a: np.ndarray, b: np.ndarray | None, const) -> np.ndarray:
         if b is None:
             raise SignatureError("binary map op requires two inputs")
-        return fn(a.astype(np.int64, copy=False), b.astype(np.int64, copy=False))
+        return fn(_as_int64(a), _as_int64(b))
     return wrapped
 
 
 def _unary(fn: Callable[[np.ndarray, object], np.ndarray]):
     def wrapped(a: np.ndarray, b: np.ndarray | None, const) -> np.ndarray:
-        return fn(a.astype(np.int64, copy=False), const)
+        return fn(_as_int64(a), const)
     return wrapped
 
 
@@ -50,7 +55,7 @@ register_map_op("tax_price", _binary(lambda a, b: a * (100 + b)))
 # group-key combination for multi-attribute group-bys (Q1): a * K + b
 register_map_op(
     "combine_keys",
-    lambda a, b, const: a.astype(np.int64) * int(const) + b.astype(np.int64),
+    lambda a, b, const: _as_int64(a) * int(const) + _as_int64(b),
 )
 # 0/1 indicator for an inclusive range (Q12's priority class, Q14's
 # PROMO part-type band): const = (lo, hi).

@@ -111,6 +111,22 @@ def _reference_kernels() -> list[KernelContainer]:
     ]
 
 
+#: SDK variant keys the fused kernel is registered under, so every
+#: driver (and the engine) resolves it without the reference fallback.
+FUSED_VARIANTS = ("cuda", "opencl", "openmp", "fpga")
+
+
+def _fused_kernels() -> list[KernelContainer]:
+    # ``num_args`` here is the nominal in+out pair; the launch cost of a
+    # fused node uses the summed per-step argument count carried in its
+    # cost_params (the fusion pass computes it).
+    return [
+        KernelContainer("fused_map_filter", variant, kernels.fused_map_filter,
+                        kind=ImplementationKind.LIBRARY, num_args=2)
+        for variant in (REFERENCE_VARIANT, *FUSED_VARIANTS)
+    ]
+
+
 def default_registry() -> TaskRegistry:
     """A registry pre-loaded with the reference kernels.
 
@@ -118,9 +134,13 @@ def default_registry() -> TaskRegistry:
     are SDK-independent); what differs per SDK is the *cost* charged by the
     device layer.  A real deployment would additionally register
     per-SDK containers here — the tests do exactly that to exercise the
-    variant-resolution path.
+    variant-resolution path.  The fused MAP/FILTER kernel is registered
+    for every SDK variant so all execution models run fused plans
+    unchanged.
     """
     registry = TaskRegistry()
     for container in _reference_kernels():
+        registry.register(container)
+    for container in _fused_kernels():
         registry.register(container)
     return registry
