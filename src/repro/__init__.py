@@ -13,12 +13,16 @@ Public API tour:
 * :mod:`repro.core` — primitive graphs, pipelines, execution models.
 * :mod:`repro.tpch` — workload generator, query plans and oracles.
 * :mod:`repro.hardware` — simulated specs, cost models, virtual time.
+* :mod:`repro.faults` — deterministic fault injection
+  (:class:`repro.FaultPlan`) and the retry/degrade/failover recovery
+  machinery around it.
 """
 
 from repro.core.executor import DEFAULT_CHUNK_SIZE, AdamantExecutor
 from repro.core.graph import PrimitiveGraph, ScanSource
 from repro.engine import Engine, QueryRequest, QuerySession
 from repro.errors import AdamantError
+from repro.faults import FaultPlan, FaultSpec, RetryPolicy
 
 __version__ = "1.0.0"
 
@@ -26,9 +30,12 @@ __all__ = [
     "AdamantExecutor",
     "DEFAULT_CHUNK_SIZE",
     "Engine",
+    "FaultPlan",
+    "FaultSpec",
     "PrimitiveGraph",
     "QueryRequest",
     "QuerySession",
+    "RetryPolicy",
     "ScanSource",
     "AdamantError",
     "__version__",

@@ -5,6 +5,10 @@ Usage::
     python -m repro devices
     python -m repro run --query q6 --model four_phase_pipelined --sf 0.02
     python -m repro compare --query q3 --sf 0.02 --data-scale 1024
+    python -m repro run --query q3 --faults "dev0:transient:0.05,seed=7"
+
+Exit codes: 0 success, 1 oracle mismatch, 2 user error (e.g. a
+malformed ``--faults`` spec), 3 execution failure.
 """
 
 from __future__ import annotations
@@ -15,6 +19,8 @@ import sys
 from repro.core.executor import DEFAULT_CHUNK_SIZE, AdamantExecutor
 from repro.core.models import MODELS
 from repro.devices import CudaDevice, OpenCLDevice, OpenMPDevice
+from repro.errors import AdamantError, FaultConfigError
+from repro.faults import FaultPlan
 from repro.hardware import (
     ALL_GPUS,
     CPU_I7_8700,
@@ -116,6 +122,11 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "cache warming up (default 2)")
     concurrent.add_argument("--no-fuse", action="store_true",
                             help="disable the kernel-fusion pass")
+    concurrent.add_argument("--faults", default=None, metavar="SPEC",
+                            help="inject faults, e.g. "
+                                 "'dev0:transient:0.05,seed=7' "
+                                 "(device:kind:value[:primitive], kinds: "
+                                 "transient, oom, latency, device_loss)")
 
     for name, help_text in (("run", "run one query under one model"),
                             ("compare", "run one query under all models")):
@@ -139,6 +150,12 @@ def _build_parser() -> argparse.ArgumentParser:
         if name == "run":
             cmd.add_argument("--model", choices=sorted(MODELS),
                              default="chunked")
+            cmd.add_argument("--faults", default=None, metavar="SPEC",
+                             help="inject faults and run with recovery "
+                                  "enabled (engine mode), e.g. "
+                                  "'dev0:transient:0.05,seed=7'; a GPU "
+                                  "driver gets a host fallback device "
+                                  "'host0' for failover")
     return parser
 
 
@@ -276,14 +293,40 @@ def _oracle_for(qname: str, catalog):
     return oracle(catalog)
 
 
-def cmd_run(args) -> int:
-    catalog = generate(args.sf, seed=args.seed)
-    executor = _make_executor(args)
-    module, graph = _build_graph(args, catalog)
-    result = executor.run(graph, catalog, model=args.model,
+def _run_with_faults(args, graph, catalog, plan):
+    """Run one query in engine mode with *plan* armed and recovery on.
+
+    A GPU driver gets a host fallback device plugged alongside, so a
+    ``device_loss`` clause demonstrates failover instead of failing.
+    """
+    from repro.engine import Engine
+
+    driver, kind = DRIVERS[args.driver]
+    spec = SPECS[args.spec] if args.spec else (
+        GPU_RTX_2080_TI if kind == "GPU" else CPU_I7_8700)
+    engine = Engine(faults=plan)
+    engine.plug_device("dev0", driver, spec,
+                       memory_limit=args.memory_limit, default=True)
+    if kind == "GPU":
+        engine.plug_device("host0", OpenMPDevice, CPU_I7_8700)
+    return engine.execute(graph, catalog, model=args.model,
                           chunk_size=args.chunk_size,
                           data_scale=args.data_scale,
                           fuse=not args.no_fuse)
+
+
+def cmd_run(args) -> int:
+    plan = FaultPlan.parse(args.faults) if args.faults else None
+    catalog = generate(args.sf, seed=args.seed)
+    module, graph = _build_graph(args, catalog)
+    if plan is not None:
+        result = _run_with_faults(args, graph, catalog, plan)
+    else:
+        executor = _make_executor(args)
+        result = executor.run(graph, catalog, model=args.model,
+                              chunk_size=args.chunk_size,
+                              data_scale=args.data_scale,
+                              fuse=not args.no_fuse)
     answer = module.finalize(result, catalog)
     expected = _oracle(args, catalog)
     matches = (answer == expected if not isinstance(answer, float)
@@ -297,6 +340,11 @@ def cmd_run(args) -> int:
           f"{result.stats.kernel_invocations} kernels, "
           f"{result.stats.kernels_launched} launches, "
           f"{result.stats.fused_nodes} fused nodes)")
+    if plan is not None:
+        print(f"recovery: {result.stats.retries} retries, "
+              f"{result.stats.oom_recoveries} oom recoveries, "
+              f"{result.stats.failovers} failovers, "
+              f"quarantined={result.stats.quarantined_devices or '[]'}")
     return 0 if matches else 1
 
 
@@ -336,13 +384,16 @@ def cmd_concurrent(args) -> int:
     """Interleave a query batch on one shared device (engine mode)."""
     from repro.engine import Engine, QueryRequest
 
+    plan = FaultPlan.parse(args.faults) if args.faults else None
     catalog = generate(args.sf, seed=args.seed)
     driver, kind = DRIVERS[args.driver]
     spec = SPECS[args.spec] if args.spec else (
         GPU_RTX_2080_TI if kind == "GPU" else CPU_I7_8700)
-    engine = Engine()
+    engine = Engine(faults=plan)
     engine.plug_device("dev0", driver, spec,
                        memory_limit=args.memory_limit)
+    if plan is not None and kind == "GPU":
+        engine.plug_device("host0", OpenMPDevice, CPU_I7_8700)
     names = [name.strip() for name in args.queries.split(",") if name.strip()]
     if not names:
         print("no queries given (expected e.g. --queries q3,q4,q6)",
@@ -378,6 +429,12 @@ def cmd_concurrent(args) -> int:
                   f"{result.stats.makespan:>10.6f} s "
                   f"{result.stats.transfer_bytes:>10d} B "
                   f"{result.stats.residency_hits:>11d}")
+        if plan is not None:
+            print(f"  recovery: "
+                  f"{sum(r.stats.retries for r in results)} retries, "
+                  f"{sum(r.stats.oom_recoveries for r in results)} oom, "
+                  f"{sum(r.stats.failovers for r in results)} failovers, "
+                  f"quarantined={engine.quarantined_devices or '[]'}")
     for device, stats in engine.residency_stats().items():
         print(f"residency[{device}]: "
               + " ".join(f"{k}={v}" for k, v in stats.items()))
@@ -390,7 +447,14 @@ def main(argv: list[str] | None = None) -> int:
                "compare": cmd_compare, "figures": cmd_figures,
                "micro": cmd_micro, "validate": cmd_validate,
                "concurrent": cmd_concurrent}[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except FaultConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except AdamantError as error:
+        print(f"execution failed: {error}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -9,13 +9,14 @@ import numpy as np
 from repro.core.graph import PrimitiveGraph, PrimitiveNode
 from repro.devices.base import Device, SimulatedDevice
 from repro.errors import ExecutionError
+from repro.faults.policy import RetryPolicy
 from repro.hardware.clock import VirtualClock
 from repro.primitives.values import Bitmap, JoinPairs, PositionList, PrefixSum
 from repro.storage import Catalog
 from repro.task.registry import TaskRegistry
 
 __all__ = ["ExecutionContext", "ExecutionStats", "QueryContext",
-           "QueryResult", "cardinality"]
+           "QueryResult", "RecoveryLog", "cardinality"]
 
 
 def cardinality(value: object) -> int:
@@ -40,6 +41,27 @@ def cardinality(value: object) -> int:
 
 
 @dataclass
+class RecoveryLog:
+    """Recovery actions taken on behalf of one query.
+
+    Owned by the query's session (or context) rather than the execution
+    model instance, because failover and OOM degradation *rebuild* the
+    model — counters must survive the restart.
+    """
+
+    #: Chunk-level kernel retries after transient device faults.
+    retries: int = 0
+    #: Times the query was re-placed onto surviving devices after a
+    #: device loss / quarantine.
+    failovers: int = 0
+    #: OOM degradation steps taken (residency eviction, chunk halving,
+    #: host spill) that led to a restart.
+    oom_recoveries: int = 0
+    #: Devices quarantined while this query was in flight (in order).
+    quarantined_devices: list[str] = field(default_factory=list)
+
+
+@dataclass
 class QueryContext:
     """Per-query identity threaded through one execution.
 
@@ -60,6 +82,9 @@ class QueryContext:
             makespans are measured from here, not from zero.
         use_residency: Whether ``load_data`` may serve base-table columns
             from the device residency cache.
+        recovery: Tally of recovery actions (retries, failovers, OOM
+            degradations) taken for the query; sessions share one log
+            across model rebuilds.
     """
 
     query_id: str = "q0"
@@ -67,6 +92,7 @@ class QueryContext:
     memory_budget: int | None = None
     epoch_start: float = 0.0
     use_residency: bool = True
+    recovery: RecoveryLog = field(default_factory=RecoveryLog)
 
 
 @dataclass
@@ -93,6 +119,13 @@ class ExecutionStats:
     #: fused MAP/FILTER nodes in the executed graph (0 without fusion).
     kernels_launched: int = 0
     fused_nodes: int = 0
+    #: Fault-recovery actions taken for the query: chunk retries after
+    #: transient faults, device failovers, OOM degradation restarts, and
+    #: the devices quarantined while the query was in flight.
+    retries: int = 0
+    failovers: int = 0
+    oom_recoveries: int = 0
+    quarantined_devices: list[str] = field(default_factory=list)
 
     @property
     def compute_time(self) -> float:
@@ -131,7 +164,8 @@ class ExecutionContext:
                  clock: VirtualClock, chunk_size: int,
                  default_device: str, data_scale: int = 1,
                  query: QueryContext | None = None,
-                 fuse: bool = False) -> None:
+                 fuse: bool = False,
+                 retry_policy: "RetryPolicy | None" = None) -> None:
         if not devices:
             raise ExecutionError("no devices plugged into the executor")
         if default_device not in devices:
@@ -161,6 +195,8 @@ class ExecutionContext:
         self.default_device = default_device
         self.data_scale = data_scale
         self.query = query if query is not None else QueryContext()
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy())
 
     @property
     def physical_chunk_rows(self) -> int:
@@ -218,4 +254,8 @@ class ExecutionContext:
                                  if e.category == "launch"),
             fused_nodes=sum(1 for n in self.graph.nodes.values()
                             if n.primitive == "fused_map_filter"),
+            retries=query.recovery.retries,
+            failovers=query.recovery.failovers,
+            oom_recoveries=query.recovery.oom_recoveries,
+            quarantined_devices=list(query.recovery.quarantined_devices),
         )

@@ -20,7 +20,11 @@ from repro.core.graph import PrimitiveGraph, PrimitiveNode
 from repro.core.hub import DataTransferHub
 from repro.core.pipelines import Pipeline, split_pipelines
 from repro.devices.base import SimulatedDevice, Task
-from repro.errors import ExecutionError
+from repro.errors import (
+    ExecutionError,
+    RetryExhaustedError,
+    TransientDeviceError,
+)
 from repro.hardware import calibration as cal
 from repro.hardware.clock import Event
 from repro.hardware.specs import Sdk
@@ -209,8 +213,9 @@ class ExecutionModel(abc.ABC):
         task = Task(
             container=container, inputs=routed, output=output_alias,
             params=params, n_elements=n, cost_params=node.cost_params,
+            node_id=node.node_id,
         )
-        event = device.execute(task, deps=wait)
+        event = self._execute_with_retry(node, device, task, wait)
         for edge in self.ctx.graph.in_edges(node.node_id):
             edge.processed_until = max(edge.processed_until,
                                        edge.fetched_until)
@@ -219,6 +224,43 @@ class ExecutionModel(abc.ABC):
         self.node_alias[node.node_id] = output_alias
         self.node_device[node.node_id] = device.name
         return event
+
+    def _execute_with_retry(self, node: PrimitiveNode,
+                            device: SimulatedDevice, task: Task,
+                            wait: list[Event]) -> Event:
+        """Run *task*, retrying transient device faults.
+
+        Kernels run functionally before any time is charged, so a faulted
+        execution has no side effects and a retry is idempotent.  Each
+        retry charges an exponential backoff to the device's compute
+        stream on the virtual clock and the next attempt depends on it,
+        so recovery time shows up in the query's makespan like on real
+        hardware.  Exhausting the policy raises
+        :class:`~repro.errors.RetryExhaustedError`, which the engine's
+        scheduler treats as a device-health signal (circuit breaker).
+        """
+        policy = self.ctx.retry_policy
+        deps = wait
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                return device.execute(task, deps=deps)
+            except TransientDeviceError as fault:
+                if attempt >= policy.max_attempts:
+                    raise RetryExhaustedError(
+                        f"kernel {node.primitive!r} still failing after "
+                        f"{policy.max_attempts} attempts: {fault.args[0]}"
+                    ).annotate(device=device.name,
+                               query_id=self.ctx.query.query_id,
+                               node_id=node.node_id) from fault
+                self.ctx.query.recovery.retries += 1
+                backoff = self.ctx.clock.schedule(
+                    device.compute_stream,
+                    policy.backoff_seconds(attempt),
+                    label=f"{device.name}:backoff:{node.node_id}",
+                    category="backoff",
+                )
+                deps = list(wait) + [backoff]
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def input_alias(self, node_id: str, *, scan_alias_of: dict[str, str]
                     ) -> list[str]:

@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import (
+    DeviceError,
+    DeviceLostError,
     DeviceMemoryError,
     DeviceNotInitializedError,
     KernelCompilationError,
@@ -49,6 +51,8 @@ class Task:
         params: Keyword parameters forwarded to the kernel.
         n_elements: Input cardinality the cost model charges for.
         cost_params: Extra cost-model knobs (e.g. ``groups``).
+        node_id: Plan node the task realizes (stamped onto device
+            errors for attribution; empty for ad-hoc tasks).
     """
 
     container: KernelContainer
@@ -57,6 +61,7 @@ class Task:
     params: dict = field(default_factory=dict)
     n_elements: int = 0
     cost_params: dict = field(default_factory=dict)
+    node_id: str = ""
 
 
 class Device(abc.ABC):
@@ -155,7 +160,7 @@ class SimulatedDevice(Device):
         self.clock = clock
         self.cost = self._make_cost_model()
         capacity = memory_limit if memory_limit is not None else spec.memory_bytes
-        self.memory = MemoryManager(capacity)
+        self.memory = MemoryManager(capacity, device_name=name)
         self.data_container = DataContainer(native_format=self.data_format)
         #: Each physical row stands for this many logical rows: time and
         #: memory are charged at logical scale, so paper-scale experiments
@@ -168,6 +173,15 @@ class SimulatedDevice(Device):
         #: Cross-query residency cache; attached by the engine when the
         #: device is long-lived (None under the single-shot executor).
         self.residency = None
+        #: Fault injector armed by a :class:`~repro.faults.FaultPlan`
+        #: (None = healthy device, zero overhead).
+        self.faults = None
+        #: Set by an injected permanent failure: the device is gone and
+        #: every further use raises :class:`DeviceLostError`.
+        self.lost = False
+        #: Set by the scheduler's circuit breaker after repeated faults;
+        #: like :attr:`lost`, but an operator may reinstate the device.
+        self.quarantined = False
         self._initialized = False
         self._compiled: set[str] = set()
 
@@ -226,7 +240,7 @@ class SimulatedDevice(Device):
         stale scale can never leak from one run into the next.
         """
         capacity = self.memory.capacity_bytes
-        self.memory = MemoryManager(capacity)
+        self.memory = MemoryManager(capacity, device_name=self.name)
         self.data_scale = data_scale
         self.current_owner = ""
         if self.residency is not None:
@@ -243,6 +257,9 @@ class SimulatedDevice(Device):
         self.reset()
         self.data_container.transforms.clear()
         self._compiled.clear()
+        self.faults = None
+        self.lost = False
+        self.quarantined = False
         self.clock.drop_stream(self.transfer_stream)
         self.clock.drop_stream(self.compute_stream)
 
@@ -262,6 +279,11 @@ class SimulatedDevice(Device):
         self.current_owner = ""
 
     def _require_initialized(self) -> None:
+        if self.lost or self.quarantined:
+            why = "lost" if self.lost else "quarantined"
+            raise DeviceLostError(
+                f"device {self.name!r} is {why}"
+            ).annotate(device=self.name, query_id=self.current_owner)
         if not self._initialized:
             raise DeviceNotInitializedError(
                 f"device {self.name!r} used before initialize()"
@@ -328,6 +350,8 @@ class SimulatedDevice(Device):
         Budget violations are never retried: the query is over its own
         cap, not competing with the cache.
         """
+        if self.faults is not None:
+            self.faults.on_alloc(self, alias, logical)
         try:
             self.memory.allocate(
                 alias, logical, pinned=pinned, data_format=self.data_format,
@@ -423,7 +447,8 @@ class SimulatedDevice(Device):
             raise KernelCompilationError(
                 f"{type(self).__name__} ({self.sdk.value}) does not support "
                 "runtime kernel compilation; register a pre-built kernel"
-            )
+            ).annotate(device=self.name, query_id=self.current_owner,
+                       node_id=f"{container.primitive}:{container.variant}")
         key = f"{container.primitive}:{container.variant}"
         duration = 0.0 if key in self._compiled else self.cost.compile_seconds()
         self._compiled.add(key)
@@ -436,7 +461,20 @@ class SimulatedDevice(Device):
     # -- execution ----------------------------------------------------------------------
 
     def execute(self, task: Task, *, deps: list[Event] | None = None) -> Event:
+        try:
+            return self._execute(task, deps=deps)
+        except DeviceError as error:
+            # Stamp attribution onto whatever the driver raised (first
+            # writer wins, so injector-annotated errors pass unchanged).
+            raise error.annotate(device=self.name,
+                                 query_id=self.current_owner,
+                                 node_id=task.node_id)
+
+    def _execute(self, task: Task, *, deps: list[Event] | None = None
+                 ) -> Event:
         self._require_initialized()
+        latency_factor = (self.faults.on_execute(self, task)
+                          if self.faults is not None else 1.0)
         if task.container.needs_compilation:
             self.prepare_kernel(task.container)
         wait = list(deps or ())
@@ -483,7 +521,7 @@ class SimulatedDevice(Device):
                                                 **cost_params)
         event = self.clock.schedule(
             self.compute_stream,
-            duration,
+            duration * latency_factor,
             label=f"{self.name}:run:{task.container.primitive}",
             deps=[launch],
             category="compute",

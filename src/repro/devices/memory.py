@@ -50,11 +50,14 @@ class Buffer:
 class MemoryManager:
     """Capacity-enforcing allocation table for one device."""
 
-    def __init__(self, capacity_bytes: int) -> None:
+    def __init__(self, capacity_bytes: int, *, device_name: str = "") -> None:
         if capacity_bytes <= 0:
             raise DeviceMemoryError(
                 f"device capacity must be positive, got {capacity_bytes}"
             )
+        #: Name of the owning device, stamped onto every error this
+        #: manager raises so OOMs in a concurrent wave are attributable.
+        self.device_name = device_name
         self.capacity_bytes = int(capacity_bytes)
         self._buffers: dict[str, Buffer] = {}
         self._device_used = 0
@@ -87,7 +90,7 @@ class MemoryManager:
         except KeyError:
             raise UnknownBufferError(
                 f"no buffer {alias!r}; allocated: {sorted(self._buffers)}"
-            ) from None
+            ).annotate(device=self.device_name) from None
 
     def aliases(self) -> list[str]:
         return sorted(self._buffers)
@@ -123,7 +126,7 @@ class MemoryManager:
                 f"budget ({budget - used} of {budget} B left)",
                 requested=delta,
                 available=max(0, budget - used),
-            )
+            ).annotate(device=self.device_name, query_id=owner)
         self._owner_used[owner] = used + delta
         if self._owner_used[owner] <= 0:
             del self._owner_used[owner]
@@ -150,7 +153,7 @@ class MemoryManager:
                 f"({self.device_free} of {self.capacity_bytes} B free)",
                 requested=nbytes,
                 available=self.device_free,
-            )
+            ).annotate(device=self.device_name, query_id=owner)
         if not pinned:
             self._charge(owner, int(nbytes))
         buffer = Buffer(alias=alias, nbytes=int(nbytes), pinned=pinned,
@@ -199,7 +202,7 @@ class MemoryManager:
                     f"memory ({self.device_free} B free)",
                     requested=delta,
                     available=self.device_free,
-                )
+                ).annotate(device=self.device_name, query_id=buffer.owner)
             self._charge(buffer.owner, delta)
             self._device_used += delta
             self.peak_device_used = max(self.peak_device_used,

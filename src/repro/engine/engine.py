@@ -32,9 +32,10 @@ from repro.devices.residency import ResidencyCache
 from repro.devices.transforms import register_default_transforms
 from repro.engine.scheduler import DeviceScheduler
 from repro.engine.session import QuerySession
-from repro.errors import ExecutionError, QueryAdmissionError
+from repro.errors import DeviceLostError, ExecutionError, QueryAdmissionError
+from repro.faults import FaultPlan, RetryPolicy
 from repro.hardware.clock import VirtualClock
-from repro.hardware.specs import DeviceSpec
+from repro.hardware.specs import DeviceKind, DeviceSpec
 from repro.storage import Catalog
 from repro.task.registry import TaskRegistry, default_registry
 
@@ -74,11 +75,20 @@ class Engine:
             plugged device (the compatibility facade turns this off).
         max_concurrent: Session admission limit; exceeding it raises
             :class:`~repro.errors.QueryAdmissionError`.
+        faults: Optional :class:`~repro.faults.FaultPlan` armed on every
+            plugged device (see :meth:`install_faults`).
+        retry_policy: Backoff schedule for transient-fault retries
+            (defaults to :class:`~repro.faults.RetryPolicy`'s defaults).
+        quarantine_threshold: Consecutive device faults before the
+            scheduler's circuit breaker quarantines a device.
     """
 
     def __init__(self, *, registry: TaskRegistry | None = None,
                  enable_residency: bool = True,
-                 max_concurrent: int = 8) -> None:
+                 max_concurrent: int = 8,
+                 faults: FaultPlan | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 quarantine_threshold: int = 3) -> None:
         if max_concurrent < 1:
             raise ExecutionError(
                 f"max_concurrent must be >= 1, got {max_concurrent}")
@@ -90,7 +100,12 @@ class Engine:
         self._default_device: str | None = None
         self._sessions: dict[str, QuerySession] = {}
         self._query_counter = 0
-        self._scheduler = DeviceScheduler(reclaim=True)
+        self._scheduler = DeviceScheduler(
+            reclaim=True, quarantine_threshold=quarantine_threshold)
+        self._retry_policy = retry_policy
+        self._fault_plan: FaultPlan | None = None
+        if faults is not None:
+            self.install_faults(faults)
 
     # -- plugging ------------------------------------------------------------
 
@@ -109,6 +124,8 @@ class Engine:
         register_default_transforms(device)
         if self.enable_residency:
             device.residency = ResidencyCache(device)
+        if self._fault_plan is not None:
+            device.faults = self._fault_plan.injector_for(name)
         self.devices[name] = device
         if default or self._default_device is None:
             self._default_device = name
@@ -134,7 +151,56 @@ class Engine:
     def default_device(self) -> str:
         if self._default_device is None:
             raise ExecutionError("no devices plugged")
+        chosen = self.devices[self._default_device]
+        if chosen.lost or chosen.quarantined:
+            for name, device in self.devices.items():
+                if not (device.lost or device.quarantined):
+                    return name
         return self._default_device
+
+    # -- fault injection & recovery -------------------------------------------
+
+    def install_faults(self, plan: FaultPlan) -> None:
+        """Arm *plan* on every plugged (and future) device.
+
+        Each device receives its own seeded
+        :class:`~repro.faults.FaultInjector` carved from the plan, so
+        injected failures are deterministic per ``(plan seed, device)``.
+        """
+        self._fault_plan = plan
+        for name, device in self.devices.items():
+            device.faults = plan.injector_for(name)
+
+    def clear_faults(self) -> None:
+        """Disarm fault injection on every device."""
+        self._fault_plan = None
+        for device in self.devices.values():
+            device.faults = None
+
+    @property
+    def quarantined_devices(self) -> list[str]:
+        """Devices currently out of rotation (lost or circuit-broken)."""
+        return sorted(name for name, device in self.devices.items()
+                      if device.lost or device.quarantined)
+
+    def reinstate_device(self, name: str) -> None:
+        """Return a quarantined/lost device to rotation (operator action
+        after, say, a driver reset); its circuit-breaker count clears."""
+        try:
+            device = self.devices[name]
+        except KeyError:
+            raise ExecutionError(f"no plugged device {name!r}") from None
+        device.lost = False
+        device.quarantined = False
+        self._scheduler.quarantined.discard(name)
+        self._scheduler._fault_counts.pop(name, None)
+
+    def _healthy_devices(self, *, exclude: set[str] | frozenset[str] =
+                         frozenset()) -> dict[str, SimulatedDevice]:
+        return {
+            name: device for name, device in self.devices.items()
+            if not (device.lost or device.quarantined) and name not in exclude
+        }
 
     # -- sessions ------------------------------------------------------------
 
@@ -216,7 +282,11 @@ class Engine:
                 model_cls, session, graph, catalog, chunk_size=chunk_size,
                 default_device=default_device, data_scale=data_scale,
                 epoch_start=epoch_start, fuse=fuse)
-            self._scheduler.run([(session, model_obj)])
+            rebuild = self._make_rebuild(
+                model_cls, session, graph, catalog,
+                default_device=default_device, data_scale=data_scale,
+                epoch_start=epoch_start, fuse=fuse)
+            self._scheduler.run([(session, model_obj, rebuild)])
             if session.error is not None:
                 raise session.error
             assert session.result is not None
@@ -254,23 +324,29 @@ class Engine:
         for offset in range(0, len(requests), step):
             wave = requests[offset:offset + step]
             epoch_start = self.clock.begin_epoch()
-            work: list[tuple[QuerySession, ExecutionModel]] = []
+            work: list[tuple] = []
             try:
                 for request in wave:
                     session = self.open_session(
                         memory_budget=request.memory_budget,
                         label=request.label)
+                    model_cls = self._resolve_model(request.model)
                     model_obj = self._build_model(
-                        self._resolve_model(request.model), session,
+                        model_cls, session,
                         request.graph, request.catalog,
                         chunk_size=request.chunk_size,
                         default_device=request.default_device,
                         data_scale=request.data_scale,
                         epoch_start=epoch_start, fuse=request.fuse)
-                    work.append((session, model_obj))
+                    rebuild = self._make_rebuild(
+                        model_cls, session, request.graph, request.catalog,
+                        default_device=request.default_device,
+                        data_scale=request.data_scale,
+                        epoch_start=epoch_start, fuse=request.fuse)
+                    work.append((session, model_obj, rebuild))
                 self._scheduler.run(work)
                 failure: Exception | None = None
-                for session, _ in work:
+                for session, *_ in work:
                     if session.error is not None:
                         results.append(session.error)
                         failure = failure or session.error
@@ -280,7 +356,7 @@ class Engine:
                 if failure is not None and not return_exceptions:
                     raise failure
             finally:
-                for session, _ in work:
+                for session, *_ in work:
                     session.close()
         return results
 
@@ -298,16 +374,20 @@ class Engine:
 
     def _context(self, graph: PrimitiveGraph, catalog: Catalog, *,
                  chunk_size: int, default_device: str | None,
-                 data_scale: int, **kwargs) -> ExecutionContext:
+                 data_scale: int,
+                 devices: dict[str, SimulatedDevice] | None = None,
+                 **kwargs) -> ExecutionContext:
         return ExecutionContext(
             graph=graph,
             catalog=catalog,
-            devices=dict(self.devices),
+            devices=devices if devices is not None
+            else self._healthy_devices(),
             registry=self.registry,
             clock=self.clock,
             chunk_size=chunk_size,
             default_device=default_device or self.default_device,
             data_scale=data_scale,
+            retry_policy=self._retry_policy,
             **kwargs,
         )
 
@@ -324,6 +404,52 @@ class Engine:
             fuse=fuse,
         )
         return model_cls(ctx)
+
+    def _make_rebuild(self, model_cls: type[ExecutionModel],
+                      session: QuerySession, graph: PrimitiveGraph,
+                      catalog: Catalog, *, default_device: str | None,
+                      data_scale: int, epoch_start: float, fuse: bool):
+        """The scheduler's recovery callback: a fresh model for the same
+        query at a degraded configuration (new chunk size, devices
+        excluded after quarantine, or placement spilled to the host).
+
+        Failover re-runs the cost-based placement pass over the
+        *original* graph restricted to the surviving devices, so the
+        re-placed plan is the one the optimizer would have produced had
+        the dead device never been plugged.
+        """
+        def rebuild(*, chunk_size: int, exclude: set[str],
+                    spill: bool) -> ExecutionModel:
+            survivors = self._healthy_devices(exclude=exclude)
+            if spill:
+                hosts = {name: device for name, device in survivors.items()
+                         if device.spec.kind is DeviceKind.CPU}
+                survivors = hosts or survivors
+            if not survivors:
+                raise DeviceLostError(
+                    "no healthy devices left to fail over to"
+                ).annotate(query_id=session.query_id)
+            stale = any(node.device and node.device not in survivors
+                        for node in graph.nodes.values())
+            if stale or spill:
+                # Imported lazily: the planner builds on the core layer,
+                # importing it at engine import time would be circular
+                # through the executor facade.
+                from repro.planner.placement import annotate_devices
+                annotate_devices(graph, catalog, survivors,
+                                 data_scale=data_scale)
+            default = default_device or self._default_device
+            if default not in survivors:
+                default = next(iter(survivors))
+            ctx = self._context(
+                graph, catalog, chunk_size=chunk_size,
+                default_device=default, data_scale=data_scale,
+                devices=survivors,
+                query=session.query_context(epoch_start=epoch_start),
+                fuse=fuse,
+            )
+            return model_cls(ctx)
+        return rebuild
 
     def _execute_fresh(self, model_cls: type[ExecutionModel],
                        graph: PrimitiveGraph, catalog: Catalog, *,

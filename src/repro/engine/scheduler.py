@@ -14,20 +14,57 @@ A query that raises is aborted alone: its owner-tagged buffers are
 reclaimed (including views other queries took over them) and its
 residency pins dropped, while the co-running queries continue
 untouched.
+
+The scheduler is also where fault *recovery* lives (given a ``rebuild``
+callback from the engine; the compatibility facade passes none and
+keeps the original fail-fast semantics):
+
+* **Circuit breaker / failover** — a device that keeps producing
+  :class:`~repro.errors.RetryExhaustedError` (``quarantine_threshold``
+  consecutive faults) or raises
+  :class:`~repro.errors.DeviceLostError` is quarantined: its residency
+  cache is invalidated, its buffers reclaimed, and every affected query
+  is re-placed onto the surviving devices and restarted.
+* **OOM degradation ladder** — a
+  :class:`~repro.errors.DeviceMemoryError` first restarts the query
+  after evicting residency-cache bytes, then with halved chunk sizes,
+  and finally with placement spilled to host (CPU-kind) devices.
+  :class:`~repro.errors.QueryBudgetError` is exempt: the query is over
+  its own cap, no amount of degradation helps.
+
+Restarts are safe because a faulted query's device state is fully
+reclaimed first and the execution models re-run the (side-effect-free)
+graph from the top; recovery actions are tallied on the session's
+:class:`~repro.core.context.RecoveryLog` and stamped onto the virtual
+clock as zero-duration ``recovery`` events.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from collections.abc import Iterator
-from dataclasses import dataclass
+from collections.abc import Callable, Iterator, Sequence
+from dataclasses import dataclass, field
 
 from repro.core.models.base import ExecutionModel
 from repro.core.pipelines import Pipeline
 from repro.engine.session import QuerySession
-from repro.errors import AdamantError
+from repro.errors import (
+    AdamantError,
+    DeviceLostError,
+    DeviceMemoryError,
+    QueryBudgetError,
+    RetryExhaustedError,
+)
 
 __all__ = ["DeviceScheduler"]
+
+#: Clock stream recovery markers are stamped on.
+RECOVERY_STREAM = "engine.recovery"
+
+#: Signature of the engine's model-rebuild callback: a fresh model for
+#: the same session/graph with a new chunk size, devices excluded, or
+#: placement spilled to the host.
+RebuildFn = Callable[..., ExecutionModel]
 
 
 @dataclass
@@ -37,7 +74,17 @@ class _InFlight:
     session: QuerySession
     model: ExecutionModel
     steps: Iterator[Pipeline]
+    rebuild: RebuildFn | None = None
     pipelines_run: int = 0
+    #: Current chunk size (halved by the OOM ladder across restarts).
+    chunk_size: int = 0
+    #: Next rung of the OOM ladder (0 = evict residency first).
+    oom_stage: int = 0
+    restarts: int = 0
+    #: Devices this query must avoid when re-placed.
+    excluded: set[str] = field(default_factory=set)
+    #: Placement restricted to host (CPU-kind) devices.
+    spill: bool = False
 
 
 class DeviceScheduler:
@@ -48,22 +95,40 @@ class DeviceScheduler:
             result has been retrieved (engine mode).  The single-query
             compatibility path leaves buffers in place, as the original
             executor did.
+        quarantine_threshold: Consecutive device faults (retry
+            exhaustions) before the circuit breaker quarantines the
+            device; a successful pipeline step on the device resets its
+            count.
+        max_restarts: Recovery restarts per query before it is failed
+            for good (guards against recovery loops).
     """
 
-    def __init__(self, *, reclaim: bool = True) -> None:
+    def __init__(self, *, reclaim: bool = True,
+                 quarantine_threshold: int = 3,
+                 max_restarts: int = 6) -> None:
         self.reclaim = reclaim
+        self.quarantine_threshold = quarantine_threshold
+        self.max_restarts = max_restarts
+        #: Consecutive-fault counter per device (circuit breaker state).
+        self._fault_counts: dict[str, int] = {}
+        #: Devices taken out of rotation by the circuit breaker.
+        self.quarantined: set[str] = set()
 
-    def run(self, work: list[tuple[QuerySession, ExecutionModel]]) -> None:
-        """Drive every (session, model) pair to completion, interleaved.
+    def run(self, work: Sequence[tuple]) -> None:
+        """Drive every work item to completion, interleaved.
 
+        Items are ``(session, model)`` or ``(session, model, rebuild)``
+        tuples; only items with a rebuild callback are recoverable.
         Results and failures are recorded on the sessions; this method
         never raises for a per-query :class:`AdamantError` — one query's
         OOM or execution failure must not take down its co-runners.
         """
         queue = deque(
-            _InFlight(session=session, model=model,
-                      steps=model.iter_pipelines())
-            for session, model in work
+            _InFlight(session=item[0], model=item[1],
+                      steps=item[1].iter_pipelines(),
+                      rebuild=item[2] if len(item) > 2 else None,
+                      chunk_size=item[1].ctx.chunk_size)
+            for item in work
         )
         while queue:
             entry = queue.popleft()
@@ -76,12 +141,143 @@ class DeviceScheduler:
                     self._release(entry)
                 else:
                     entry.pipelines_run += 1
+                    # The slice succeeded: the devices it ran on are
+                    # healthy, so their consecutive-fault counts reset.
+                    for name in set(entry.model.node_device.values()):
+                        self._fault_counts.pop(name, None)
                     queue.append(entry)
             except AdamantError as error:
-                entry.session._fail(error)
-                self._release(entry, failed=True)
+                remaining = self._recover(entry, error, queue)
+                if remaining is not None:
+                    entry.session._fail(remaining)
+                    self._release(entry, failed=True)
             finally:
                 self._unbind(entry)
+
+    # -- recovery -------------------------------------------------------------
+
+    def _recover(self, entry: _InFlight, error: AdamantError,
+                 queue: deque) -> AdamantError | None:
+        """Attempt to recover *entry* from *error*.
+
+        Returns None when the query was restarted (re-queued), or the
+        error the session should fail with.
+        """
+        if entry.rebuild is None:
+            return error
+        if isinstance(error, QueryBudgetError):
+            # The query exceeded its own admission budget; degradation
+            # would only mask the violation.  (Checked before the OOM
+            # rung: QueryBudgetError subclasses DeviceMemoryError.)
+            return error
+        if isinstance(error, (DeviceLostError, RetryExhaustedError)):
+            return self._recover_device_fault(entry, error, queue)
+        if isinstance(error, DeviceMemoryError):
+            return self._recover_oom(entry, error, queue)
+        return error
+
+    def _recover_device_fault(self, entry: _InFlight,
+                              error: DeviceLostError | RetryExhaustedError,
+                              queue: deque) -> AdamantError | None:
+        device_name = error.device
+        if not device_name:
+            return error
+        lost = isinstance(error, DeviceLostError)
+        count = self._fault_counts.get(device_name, 0) + 1
+        self._fault_counts[device_name] = count
+        if lost or count >= self.quarantine_threshold:
+            self._quarantine(entry, device_name)
+            entry.excluded |= self.quarantined
+            recovery = entry.session.recovery
+            recovery.failovers += 1
+            if device_name not in recovery.quarantined_devices:
+                recovery.quarantined_devices.append(device_name)
+            return self._restart(entry, error, queue,
+                                 reason=f"failover:{device_name}")
+        # Below the breaker threshold: the fault may be a passing storm,
+        # restart on the same placement.
+        return self._restart(entry, error, queue,
+                             reason=f"device-fault:{device_name}")
+
+    def _quarantine(self, entry: _InFlight, device_name: str) -> None:
+        """Take *device_name* out of rotation and reclaim its state."""
+        if device_name in self.quarantined:
+            return
+        self.quarantined.add(device_name)
+        device = entry.model.ctx.devices.get(device_name)
+        if device is None:
+            return
+        device.quarantined = True  # type: ignore[attr-defined]
+        residency = getattr(device, "residency", None)
+        if residency is not None:
+            # Cached columns on a dead device are unreachable; drop the
+            # entries (pinned or not) so later queries re-absorb them on
+            # survivors instead of "hitting" a corpse.
+            residency.invalidate()
+            residency.clear()
+        now = entry.model.ctx.clock.now()
+        device.memory.free_all(at_time=now)  # type: ignore[attr-defined]
+
+    def _recover_oom(self, entry: _InFlight, error: DeviceMemoryError,
+                     queue: deque) -> AdamantError | None:
+        """The OOM degradation ladder: evict, halve chunks, spill."""
+        ctx = entry.model.ctx
+        if entry.oom_stage == 0:
+            # Rung 1: make room — drop unpinned residency-cache entries
+            # on every device and retry at the same configuration.
+            entry.oom_stage = 1
+            evicted = 0
+            for device in ctx.devices.values():
+                residency = getattr(device, "residency", None)
+                if residency is not None:
+                    evicted += residency.evict_bytes(
+                        device.memory.capacity_bytes)
+            if evicted > 0:
+                return self._restart(entry, error, queue,
+                                     reason="oom:evict-residency")
+            # Nothing to evict; fall through to chunk halving.
+        halved = _halve_chunk(entry.chunk_size, ctx.data_scale)
+        if halved is not None:
+            entry.chunk_size = halved
+            return self._restart(entry, error, queue,
+                                 reason=f"oom:chunk={halved}")
+        if not entry.spill:
+            # Rung 3: give up on co-processor memory entirely and place
+            # the query on host (CPU-kind) devices.
+            entry.spill = True
+            return self._restart(entry, error, queue, reason="oom:spill")
+        return error
+
+    def _restart(self, entry: _InFlight, error: AdamantError,
+                 queue: deque, *, reason: str) -> AdamantError | None:
+        """Rebuild the entry's model and re-queue it from the top."""
+        if entry.restarts >= self.max_restarts:
+            return error
+        entry.restarts += 1
+        ctx = entry.model.ctx
+        # Reclaim the failed attempt's device-side state before the
+        # rebuilt model re-runs the graph (restarts are idempotent:
+        # kernels are pure and buffers are recreated from scratch).
+        self._release(entry, failed=True)
+        try:
+            model = entry.rebuild(chunk_size=entry.chunk_size,
+                                  exclude=set(entry.excluded),
+                                  spill=entry.spill)
+        except AdamantError as rebuild_error:
+            return rebuild_error
+        if isinstance(error, DeviceMemoryError) and not \
+                isinstance(error, QueryBudgetError):
+            entry.session.recovery.oom_recoveries += 1
+        ctx.clock.schedule(
+            RECOVERY_STREAM, 0.0,
+            label=f"recovery:{reason}:{entry.session.query_id}",
+            category="recovery",
+            not_before=ctx.clock.now(),
+        )
+        entry.model = model
+        entry.steps = model.iter_pipelines()
+        queue.append(entry)
+        return None
 
     # -- query <-> device binding -------------------------------------------
 
@@ -117,3 +313,13 @@ class DeviceScheduler:
                     query_id, at_time=ctx.clock.now())
             device.memory.set_budget(  # type: ignore[attr-defined]
                 query_id, None)
+
+
+def _halve_chunk(chunk_size: int, data_scale: int) -> int | None:
+    """Half of *chunk_size*, floored to the bitmap-word alignment the
+    execution context enforces; None when it cannot shrink further."""
+    quantum = 32 * data_scale
+    halved = (chunk_size // 2) // quantum * quantum
+    if halved < quantum or halved >= chunk_size:
+        return None
+    return halved

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.core.context import QueryContext, QueryResult
+from repro.core.context import QueryContext, QueryResult, RecoveryLog
 from repro.errors import AdamantError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -38,6 +38,9 @@ class QuerySession:
         self.state = "open"
         self.result: QueryResult | None = None
         self.error: AdamantError | None = None
+        #: Recovery actions taken for this query; lives on the session
+        #: (not the model) so failover/OOM rebuilds keep one tally.
+        self.recovery = RecoveryLog()
 
     # -- accounting ----------------------------------------------------------
 
@@ -56,6 +59,7 @@ class QuerySession:
             alias_prefix=prefix,
             memory_budget=self.memory_budget,
             epoch_start=epoch_start,
+            recovery=self.recovery,
         )
 
     def _record(self, result: QueryResult) -> None:

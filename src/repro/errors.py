@@ -19,7 +19,38 @@ class AdamantError(Exception):
 
 
 class DeviceError(AdamantError):
-    """Base class for device-layer failures."""
+    """Base class for device-layer failures.
+
+    Device errors carry optional *fault context* — the device name, the
+    owning query id, and the primitive-graph node id that was executing —
+    filled in by the layer that knows each piece via :meth:`annotate`.
+    ``str(exc)`` surfaces whatever context is known, so an OOM deep in a
+    concurrent wave reads ``... [device=gpu0 query=q3 node=agg]``.
+    """
+
+    device: str = ""
+    query_id: str = ""
+    node_id: str = ""
+
+    def annotate(self, *, device: str | None = None,
+                 query_id: str | None = None,
+                 node_id: str | None = None) -> "DeviceError":
+        """Attach fault context (first writer wins); returns ``self`` so
+        raise sites can ``raise Error(...).annotate(...)``."""
+        if device and not self.device:
+            self.device = device
+        if query_id and not self.query_id:
+            self.query_id = query_id
+        if node_id and not self.node_id:
+            self.node_id = node_id
+        return self
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        parts = [f"{key}={value}" for key, value in (
+            ("device", self.device), ("query", self.query_id),
+            ("node", self.node_id)) if value]
+        return f"{base} [{' '.join(parts)}]" if parts else base
 
 
 class DeviceMemoryError(DeviceError):
@@ -54,6 +85,27 @@ class DeviceNotInitializedError(DeviceError):
 
 class TransformError(DeviceError):
     """``transform_memory`` could not convert between SDK data formats."""
+
+
+class TransientDeviceError(DeviceError):
+    """A retryable, transient device fault (kernel hiccup, ECC retry,
+    driver timeout).  The runtime retries the failed chunk with bounded
+    exponential backoff before escalating to
+    :class:`RetryExhaustedError`."""
+
+
+class RetryExhaustedError(DeviceError):
+    """A transient fault persisted through every bounded retry attempt.
+
+    Counts toward the device's circuit breaker: repeated exhaustion
+    quarantines the device and fails work over to the survivors.
+    """
+
+
+class DeviceLostError(DeviceError):
+    """The device disappeared permanently (driver loss, hardware death)
+    or was quarantined by the engine's circuit breaker.  Unfinished
+    pipelines must be re-placed on surviving devices."""
 
 
 # ---------------------------------------------------------------------------
@@ -118,6 +170,11 @@ class CatalogError(StorageError):
 
 class WorkloadError(AdamantError):
     """A workload generator was configured inconsistently."""
+
+
+class FaultConfigError(AdamantError):
+    """A fault-injection spec (``--faults`` / ``FaultPlan.parse``) is
+    malformed — a *user* error, distinct from an execution failure."""
 
 
 class PlanError(AdamantError):

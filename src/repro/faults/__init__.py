@@ -1,0 +1,37 @@
+"""Fault injection and recovery policy for the simulated device layer.
+
+A production executor must survive the backend-specific ways in which
+heterogeneous devices fail — transient kernel faults, allocation spikes,
+latency degradation, and whole-device loss.  This package makes every one
+of those failure modes *deterministically reproducible* on the virtual
+clock:
+
+* :class:`FaultPlan` — a seeded, declarative schedule of faults, scoped
+  by device, primitive, and operation index (parseable from the CLI's
+  ``--faults`` spec string);
+* :class:`FaultInjector` — the per-device arm of a plan, attached to a
+  :class:`~repro.devices.base.SimulatedDevice` via ``device.faults``;
+  it raises :class:`~repro.errors.TransientDeviceError` /
+  :class:`~repro.errors.DeviceMemoryError` /
+  :class:`~repro.errors.DeviceLostError` (or stretches kernel time) at
+  the device's execution and allocation hooks;
+* :class:`RetryPolicy` — the bounded-exponential-backoff schedule the
+  runtime charges to the virtual clock when it retries a faulted chunk.
+
+The recovery behaviours themselves live with the layers that own them:
+chunk retry in :meth:`~repro.core.models.base.ExecutionModel.execute_node`,
+OOM degradation and device failover in
+:class:`~repro.engine.DeviceScheduler`.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.faults.policy import RetryPolicy
+
+__all__ = [
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+]

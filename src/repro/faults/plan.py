@@ -1,0 +1,195 @@
+"""Declarative, seeded fault schedules (:class:`FaultPlan`).
+
+A plan is a list of :class:`FaultSpec` clauses plus one seed.  Each
+plugged device gets its own :class:`~repro.faults.FaultInjector` carved
+from the plan (only the clauses matching that device, with an RNG stream
+derived from ``(seed, device name)``), so the same plan over the same
+deterministic execution always injects the same faults — recovery
+behaviour is exactly reproducible and therefore testable.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import FaultConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
+
+__all__ = ["FaultKind", "FaultPlan", "FaultSpec"]
+
+
+class FaultKind(enum.Enum):
+    """The backend failure modes the injector can reproduce."""
+
+    #: A retryable kernel fault; recovered by chunk retry with backoff.
+    TRANSIENT = "transient"
+    #: An allocation failure spike; recovered by the OOM degradation
+    #: ladder (evict residency, halve chunks, spill to the host device).
+    OOM = "oom"
+    #: Kernel-time degradation (thermal throttling, contention): the
+    #: kernel still succeeds but runs ``factor`` times slower.
+    LATENCY = "latency"
+    #: Permanent device loss after ``after`` operations; recovered by
+    #: quarantine + failover onto surviving devices.
+    DEVICE_LOSS = "device_loss"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault clause of a plan.
+
+    Attributes:
+        device: Device name the clause applies to (``"*"`` = every
+            device).
+        kind: Failure mode to inject.
+        rate: Per-operation probability (transient/oom/latency kinds).
+        factor: Kernel-time multiplier for :attr:`FaultKind.LATENCY`.
+        after: Operation index at which the device dies
+            (:attr:`FaultKind.DEVICE_LOSS`); the device completes this
+            many hooked operations, then is lost forever.
+        primitive: Restrict kernel-side faults to one primitive name
+            (None = any).
+    """
+
+    kind: FaultKind
+    device: str = "*"
+    rate: float = 0.0
+    factor: float = 4.0
+    after: int = 0
+    primitive: str | None = None
+
+    def matches_device(self, name: str) -> bool:
+        return self.device in ("*", name)
+
+
+class FaultPlan:
+    """A seeded set of fault clauses covering one engine's devices."""
+
+    def __init__(self, specs: list[FaultSpec] | None = None, *,
+                 seed: int = 0) -> None:
+        self.specs = list(specs or ())
+        self.seed = int(seed)
+        for spec in self.specs:
+            _validate(spec)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<FaultPlan seed={self.seed} specs={len(self.specs)}>"
+
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        _validate(spec)
+        self.specs.append(spec)
+        return self
+
+    def injector_for(self, device_name: str) -> "FaultInjector | None":
+        """The injector arming this plan's clauses on *device_name*
+        (None when no clause matches — the device stays un-instrumented).
+
+        The RNG stream is seeded from ``(plan seed, crc32(device))`` so
+        injections on one device are independent of how many operations
+        other devices perform.
+        """
+        from repro.faults.injector import FaultInjector
+
+        specs = [s for s in self.specs if s.matches_device(device_name)]
+        if not specs:
+            return None
+        rng = np.random.default_rng(
+            [self.seed, zlib.crc32(device_name.encode())])
+        return FaultInjector(device_name, specs, rng)
+
+    # -- spec-string parsing -------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Build a plan from a CLI spec string.
+
+        Grammar (comma-separated clauses)::
+
+            SPEC    := CLAUSE ("," CLAUSE)*
+            CLAUSE  := "seed=" INT
+                     | DEVICE ":" KIND ":" VALUE [":" PRIMITIVE]
+            KIND    := transient | oom | latency | device_loss
+            VALUE   := probability (transient/oom), "RATE" or
+                       "RATExFACTOR" (latency), op count (device_loss)
+
+        Examples::
+
+            gpu0:transient:0.05,seed=7
+            *:latency:0.1x8,gpu0:device_loss:40
+            gpu0:oom:0.02:hash_build,cpu0:transient:0.01,seed=3
+        """
+        specs: list[FaultSpec] = []
+        seed = 0
+        for clause in filter(None, (c.strip() for c in text.split(","))):
+            if clause.startswith("seed="):
+                try:
+                    seed = int(clause[len("seed="):])
+                except ValueError:
+                    raise FaultConfigError(
+                        f"bad seed clause {clause!r} (expected seed=<int>)"
+                    ) from None
+                continue
+            parts = clause.split(":")
+            if len(parts) not in (3, 4):
+                raise FaultConfigError(
+                    f"bad fault clause {clause!r} (expected "
+                    "device:kind:value[:primitive])"
+                )
+            device, kind_name, value = parts[0], parts[1], parts[2]
+            primitive = parts[3] if len(parts) == 4 else None
+            try:
+                kind = FaultKind(kind_name)
+            except ValueError:
+                raise FaultConfigError(
+                    f"unknown fault kind {kind_name!r}; available: "
+                    f"{', '.join(k.value for k in FaultKind)}"
+                ) from None
+            specs.append(_clause_spec(kind, device, value, primitive,
+                                      clause))
+        if not specs:
+            raise FaultConfigError(
+                f"fault spec {text!r} contains no fault clauses")
+        return cls(specs, seed=seed)
+
+
+def _clause_spec(kind: FaultKind, device: str, value: str,
+                 primitive: str | None, clause: str) -> FaultSpec:
+    try:
+        if kind is FaultKind.DEVICE_LOSS:
+            return _validate(FaultSpec(kind=kind, device=device,
+                                       after=int(value),
+                                       primitive=primitive))
+        if kind is FaultKind.LATENCY:
+            rate_text, _, factor_text = value.partition("x")
+            factor = float(factor_text) if factor_text else 4.0
+            return _validate(FaultSpec(kind=kind, device=device,
+                                       rate=float(rate_text),
+                                       factor=factor, primitive=primitive))
+        return _validate(FaultSpec(kind=kind, device=device,
+                                   rate=float(value), primitive=primitive))
+    except (ValueError, FaultConfigError) as error:
+        if isinstance(error, FaultConfigError):
+            raise
+        raise FaultConfigError(
+            f"bad value in fault clause {clause!r}: {error}") from None
+
+
+def _validate(spec: FaultSpec) -> FaultSpec:
+    if spec.kind is FaultKind.DEVICE_LOSS:
+        if spec.after < 0:
+            raise FaultConfigError(
+                f"device_loss 'after' must be >= 0, got {spec.after}")
+    elif not 0.0 <= spec.rate <= 1.0:
+        raise FaultConfigError(
+            f"fault rate must be in [0, 1], got {spec.rate}")
+    if spec.kind is FaultKind.LATENCY and spec.factor < 1.0:
+        raise FaultConfigError(
+            f"latency factor must be >= 1, got {spec.factor}")
+    return spec

@@ -1,0 +1,42 @@
+"""Retry policy: bounded exponential backoff on the virtual clock."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FaultConfigError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the runtime retries a transiently faulted chunk.
+
+    Attributes:
+        max_attempts: Total tries per kernel execution (first run plus
+            retries); exhausting them raises
+            :class:`~repro.errors.RetryExhaustedError`.
+        base_backoff: Seconds charged to the device's compute stream
+            before the first retry.
+        multiplier: Exponential growth factor of successive backoffs.
+    """
+
+    max_attempts: int = 4
+    base_backoff: float = 100e-6
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise FaultConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_backoff < 0:
+            raise FaultConfigError(
+                f"base_backoff must be >= 0, got {self.base_backoff}")
+        if self.multiplier < 1.0:
+            raise FaultConfigError(
+                f"multiplier must be >= 1, got {self.multiplier}")
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Backoff charged before retry *attempt* (1-based)."""
+        return self.base_backoff * self.multiplier ** (attempt - 1)

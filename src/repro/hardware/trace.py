@@ -30,6 +30,9 @@ _GLYPHS = {
     "compile": "c",
     "transform": "x",
     "setup": "s",
+    "cache": "r",
+    "backoff": "b",
+    "recovery": "R",
 }
 
 
@@ -39,7 +42,10 @@ def counters(clock: VirtualClock) -> dict[str, int]:
     ``kernels_launched`` counts every host-side launch event;
     ``fused_kernels_launched`` the subset that launched the planner's
     fused MAP/FILTER kernel.  The difference before/after fusion is the
-    launch-overhead saving the pass buys.
+    launch-overhead saving the pass buys.  ``retries`` counts the
+    backoff waits charged by transient-fault recovery and
+    ``recovery_actions`` the scheduler's restart markers (OOM
+    degradation and device failover).
     """
     launches = [e for e in clock.events if e.category == "launch"]
     return {
@@ -47,6 +53,10 @@ def counters(clock: VirtualClock) -> dict[str, int]:
         "fused_kernels_launched": sum(
             1 for e in launches
             if (e.label or "").endswith(":fused_map_filter")),
+        "retries": sum(1 for e in clock.events
+                       if e.category == "backoff"),
+        "recovery_actions": sum(1 for e in clock.events
+                                if e.category == "recovery"),
     }
 
 
