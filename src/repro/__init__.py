@@ -16,6 +16,9 @@ Public API tour:
 * :mod:`repro.faults` — deterministic fault injection
   (:class:`repro.FaultPlan`) and the retry/degrade/failover recovery
   machinery around it.
+* :mod:`repro.observe` — EXPLAIN/ANALYZE plan rendering
+  (:func:`repro.explain`) and the engine's
+  :class:`repro.MetricsRegistry` (see ``docs/observability.md``).
 """
 
 from repro.core.executor import DEFAULT_CHUNK_SIZE, AdamantExecutor
@@ -23,6 +26,7 @@ from repro.core.graph import PrimitiveGraph, ScanSource
 from repro.engine import Engine, QueryRequest, QuerySession
 from repro.errors import AdamantError
 from repro.faults import FaultPlan, FaultSpec, RetryPolicy
+from repro.observe import MetricsRegistry, QueryProfile, explain
 
 __version__ = "1.0.0"
 
@@ -32,11 +36,14 @@ __all__ = [
     "Engine",
     "FaultPlan",
     "FaultSpec",
+    "MetricsRegistry",
     "PrimitiveGraph",
+    "QueryProfile",
     "QueryRequest",
     "QuerySession",
     "RetryPolicy",
     "ScanSource",
     "AdamantError",
+    "explain",
     "__version__",
 ]

@@ -3,7 +3,9 @@
 Usage::
 
     python -m repro devices
+    python -m repro explain q6
     python -m repro run --query q6 --model four_phase_pipelined --sf 0.02
+    python -m repro run --query q6 --analyze --metrics-out metrics.prom
     python -m repro compare --query q3 --sf 0.02 --data-scale 1024
     python -m repro run --query q3 --faults "dev0:transient:0.05,seed=7"
 
@@ -127,6 +129,33 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "'dev0:transient:0.05,seed=7' "
                                  "(device:kind:value[:primitive], kinds: "
                                  "transient, oom, latency, device_loss)")
+    concurrent.add_argument("--analyze", action="store_true",
+                            help="print a per-node ANALYZE profile for "
+                                 "each query of the final round")
+    concurrent.add_argument("--metrics-out", default=None, metavar="PATH",
+                            help="write the engine's metrics after the "
+                                 "batch (.json -> JSON, otherwise "
+                                 "Prometheus text format)")
+
+    explain_cmd = sub.add_parser(
+        "explain",
+        help="render a query's execution plan (pipelines, placement, "
+             "variants, cost estimates) without running it")
+    explain_cmd.add_argument("query", nargs="?", default="q6",
+                             choices=sorted(QUERIES))
+    explain_cmd.add_argument("--sf", type=float, default=0.01)
+    explain_cmd.add_argument("--seed", type=int, default=42)
+    explain_cmd.add_argument("--driver", choices=sorted(DRIVERS),
+                             default="cuda")
+    explain_cmd.add_argument("--spec", choices=sorted(SPECS), default=None)
+    explain_cmd.add_argument("--model", choices=sorted(MODELS),
+                             default="chunked")
+    explain_cmd.add_argument("--chunk-size", type=int,
+                             default=DEFAULT_CHUNK_SIZE)
+    explain_cmd.add_argument("--data-scale", type=int, default=1)
+    explain_cmd.add_argument("--memory-limit", type=int, default=None)
+    explain_cmd.add_argument("--no-fuse", action="store_true",
+                             help="disable the kernel-fusion pass")
 
     for name, help_text in (("run", "run one query under one model"),
                             ("compare", "run one query under all models")):
@@ -156,6 +185,13 @@ def _build_parser() -> argparse.ArgumentParser:
                                   "'dev0:transient:0.05,seed=7'; a GPU "
                                   "driver gets a host fallback device "
                                   "'host0' for failover")
+            cmd.add_argument("--analyze", action="store_true",
+                             help="print the per-node ANALYZE profile "
+                                  "after the run")
+            cmd.add_argument("--metrics-out", default=None, metavar="PATH",
+                             help="write the run's metrics (.json -> "
+                                  "JSON, otherwise Prometheus text "
+                                  "format)")
     return parser
 
 
@@ -293,11 +329,21 @@ def _oracle_for(qname: str, catalog):
     return oracle(catalog)
 
 
-def _run_with_faults(args, graph, catalog, plan):
+def _write_metrics(path: str, metrics) -> None:
+    """Export *metrics* to *path* (.json -> JSON, else Prometheus text)."""
+    text = (metrics.to_json() if path.endswith(".json")
+            else metrics.prometheus_text())
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"metrics written to {path}")
+
+
+def _run_with_faults(args, graph, catalog, plan, *, analyze=False):
     """Run one query in engine mode with *plan* armed and recovery on.
 
     A GPU driver gets a host fallback device plugged alongside, so a
     ``device_loss`` clause demonstrates failover instead of failing.
+    Returns ``(result, metrics)``.
     """
     from repro.engine import Engine
 
@@ -309,10 +355,25 @@ def _run_with_faults(args, graph, catalog, plan):
                        memory_limit=args.memory_limit, default=True)
     if kind == "GPU":
         engine.plug_device("host0", OpenMPDevice, CPU_I7_8700)
-    return engine.execute(graph, catalog, model=args.model,
-                          chunk_size=args.chunk_size,
-                          data_scale=args.data_scale,
-                          fuse=not args.no_fuse)
+    result = engine.execute(graph, catalog, model=args.model,
+                            chunk_size=args.chunk_size,
+                            data_scale=args.data_scale,
+                            fuse=not args.no_fuse, analyze=analyze)
+    return result, engine.metrics
+
+
+def cmd_explain(args) -> int:
+    """Render the query's plan the way the executor would run it."""
+    from repro.observe import explain
+
+    catalog = generate(args.sf, seed=args.seed)
+    _module, graph = _build_query(args.query, catalog)
+    executor = _make_executor(args)
+    print(explain(graph, catalog, devices=executor.devices,
+                  default_device=executor.default_device,
+                  model=args.model, chunk_size=args.chunk_size,
+                  data_scale=args.data_scale, fuse=not args.no_fuse))
+    return 0
 
 
 def cmd_run(args) -> int:
@@ -320,13 +381,16 @@ def cmd_run(args) -> int:
     catalog = generate(args.sf, seed=args.seed)
     module, graph = _build_graph(args, catalog)
     if plan is not None:
-        result = _run_with_faults(args, graph, catalog, plan)
+        result, metrics = _run_with_faults(args, graph, catalog, plan,
+                                           analyze=args.analyze)
     else:
         executor = _make_executor(args)
         result = executor.run(graph, catalog, model=args.model,
                               chunk_size=args.chunk_size,
                               data_scale=args.data_scale,
-                              fuse=not args.no_fuse)
+                              fuse=not args.no_fuse,
+                              analyze=args.analyze)
+        metrics = executor.metrics
     answer = module.finalize(result, catalog)
     expected = _oracle(args, catalog)
     matches = (answer == expected if not isinstance(answer, float)
@@ -345,6 +409,10 @@ def cmd_run(args) -> int:
               f"{result.stats.oom_recoveries} oom recoveries, "
               f"{result.stats.failovers} failovers, "
               f"quarantined={result.stats.quarantined_devices or '[]'}")
+    if args.analyze and result.profile is not None:
+        print(result.profile.render())
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, metrics)
     return 0 if matches else 1
 
 
@@ -409,11 +477,13 @@ def cmd_concurrent(args) -> int:
             graph=_build_query(name, catalog)[1],
             catalog=catalog, model=args.model, chunk_size=args.chunk_size,
             data_scale=args.data_scale, label=name,
-            fuse=not args.no_fuse,
+            fuse=not args.no_fuse, analyze=args.analyze,
         ) for name in names]
 
     status = 0
-    for round_no in range(1, max(1, args.rounds) + 1):
+    rounds = max(1, args.rounds)
+    results = []
+    for round_no in range(1, rounds + 1):
         results = engine.run_concurrent(batch())
         combined = max(r.stats.makespan for r in results)
         print(f"round {round_no}: combined makespan {combined:.6f} s")
@@ -438,6 +508,12 @@ def cmd_concurrent(args) -> int:
     for device, stats in engine.residency_stats().items():
         print(f"residency[{device}]: "
               + " ".join(f"{k}={v}" for k, v in stats.items()))
+    if args.analyze:
+        for result in results:
+            if result.profile is not None:
+                print(result.profile.render())
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, engine.metrics)
     return status
 
 
@@ -446,7 +522,8 @@ def main(argv: list[str] | None = None) -> int:
     handler = {"devices": cmd_devices, "run": cmd_run,
                "compare": cmd_compare, "figures": cmd_figures,
                "micro": cmd_micro, "validate": cmd_validate,
-               "concurrent": cmd_concurrent}[args.command]
+               "concurrent": cmd_concurrent,
+               "explain": cmd_explain}[args.command]
     try:
         return handler(args)
     except FaultConfigError as error:

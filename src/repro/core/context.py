@@ -146,6 +146,9 @@ class QueryResult:
 
     outputs: dict[str, object]
     stats: ExecutionStats
+    #: Per-node ANALYZE profile (:class:`repro.observe.QueryProfile`);
+    #: attached only when the run was started with ``analyze=True``.
+    profile: object | None = None
 
     def output(self, node_id: str) -> object:
         try:
@@ -165,7 +168,9 @@ class ExecutionContext:
                  default_device: str, data_scale: int = 1,
                  query: QueryContext | None = None,
                  fuse: bool = False,
-                 retry_policy: "RetryPolicy | None" = None) -> None:
+                 retry_policy: "RetryPolicy | None" = None,
+                 metrics: object | None = None,
+                 analyze: bool = False) -> None:
         if not devices:
             raise ExecutionError("no devices plugged into the executor")
         if default_device not in devices:
@@ -197,6 +202,12 @@ class ExecutionContext:
         self.query = query if query is not None else QueryContext()
         self.retry_policy = (retry_policy if retry_policy is not None
                              else RetryPolicy())
+        #: :class:`~repro.observe.MetricsRegistry` the hub and models
+        #: report into (None = no instrumentation).
+        self.metrics = metrics
+        #: Attach a per-node :class:`~repro.observe.QueryProfile` to the
+        #: result (EXPLAIN ANALYZE mode).
+        self.analyze = analyze
 
     @property
     def physical_chunk_rows(self) -> int:
@@ -232,6 +243,15 @@ class ExecutionContext:
             categories[e.category] = categories.get(e.category, 0.0) \
                 + e.duration
         end = max((e.end for e in events), default=query.epoch_start)
+        # A scheduler restart (OOM degradation, failover) re-runs the
+        # graph from the top and stamps a zero-duration ``recovery``
+        # marker; launch events of the aborted attempts stay on the
+        # timeline (their cost is real) but only the completed run —
+        # everything after the last marker — describes the executed
+        # plan, so launches are counted from there.  Without a marker
+        # (fault-free runs) this is the plain launch count.
+        restart_eid = max((e.eid for e in events
+                           if e.category == "recovery"), default=-1)
         return ExecutionStats(
             makespan=max(0.0, end - query.epoch_start),
             time_by_category=categories,
@@ -251,7 +271,8 @@ class ExecutionContext:
             residency_hit_bytes=sum(e.nbytes for e in events
                                     if e.category == "cache"),
             kernels_launched=sum(1 for e in events
-                                 if e.category == "launch"),
+                                 if e.category == "launch"
+                                 and e.eid > restart_eid),
             fused_nodes=sum(1 for n in self.graph.nodes.values()
                             if n.primitive == "fused_map_filter"),
             retries=query.recovery.retries,

@@ -68,6 +68,12 @@ class AdamantExecutor:
     def default_device(self) -> str:
         return self._engine.default_device
 
+    @property
+    def metrics(self):
+        """The engine's :class:`~repro.observe.MetricsRegistry` (kept
+        across runs; counters accumulate until ``metrics.reset()``)."""
+        return self._engine.metrics
+
     # -- plugging ---------------------------------------------------------------
 
     def plug_device(self, name: str, driver: type[SimulatedDevice],
@@ -102,7 +108,8 @@ class AdamantExecutor:
     def run(self, graph: PrimitiveGraph, catalog: Catalog, *,
             model: str = "chunked", chunk_size: int = DEFAULT_CHUNK_SIZE,
             default_device: str | None = None,
-            data_scale: int = 1, fuse: bool = False) -> QueryResult:
+            data_scale: int = 1, fuse: bool = False,
+            analyze: bool = False) -> QueryResult:
         """Execute *graph* against *catalog* under one execution model.
 
         Each run starts on a fresh timeline: the clock is reset and every
@@ -120,9 +127,12 @@ class AdamantExecutor:
             fuse: Apply the planner's kernel-fusion pass (collapse
                 MAP/FILTER chains into single fused kernels) before
                 execution.  Off by default for plan-shape stability.
+            analyze: Attach a per-node
+                :class:`~repro.observe.QueryProfile` to the result
+                (EXPLAIN ANALYZE mode; see ``result.profile.render()``).
         """
         return self._engine.execute(graph, catalog, model=model,
                                     chunk_size=chunk_size,
                                     default_device=default_device,
                                     data_scale=data_scale, fresh=True,
-                                    fuse=fuse)
+                                    fuse=fuse, analyze=analyze)

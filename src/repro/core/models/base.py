@@ -131,11 +131,17 @@ class ExecutionModel(abc.ABC):
         """Retrieve the outputs and close out the query's statistics."""
         outputs = self._retrieve_outputs()
         self.ctx.clock.barrier()
-        return QueryResult(
+        result = QueryResult(
             outputs=outputs,
             stats=self.ctx.collect_stats(chunks=self.chunks_processed,
                                          pipeline_spans=self._spans),
         )
+        if self.ctx.analyze:
+            # Imported lazily: observe sits above the core layer.
+            from repro.observe.profile import build_profile
+            result.profile = build_profile(self.ctx, result.stats,
+                                           model_name=self.name)
+        return result
 
     @abc.abstractmethod
     def run_pipeline(self, pipeline: Pipeline) -> None:
@@ -196,6 +202,7 @@ class ExecutionModel(abc.ABC):
                 label=f"{device.name}:uma-read:{node.node_id}",
                 category="transfer",
                 nbytes=uma_read_bytes * device.data_scale,
+                node=node.node_id,
             ))
         routed: list[str] = []
         for edge, alias in zip(self.ctx.graph.in_edges(node.node_id),
@@ -253,11 +260,16 @@ class ExecutionModel(abc.ABC):
                                query_id=self.ctx.query.query_id,
                                node_id=node.node_id) from fault
                 self.ctx.query.recovery.retries += 1
+                if self.ctx.metrics is not None:
+                    self.ctx.metrics.inc("adamant_retries_total",
+                                         device=device.name,
+                                         primitive=node.primitive)
                 backoff = self.ctx.clock.schedule(
                     device.compute_stream,
                     policy.backoff_seconds(attempt),
                     label=f"{device.name}:backoff:{node.node_id}",
                     category="backoff",
+                    node=node.node_id,
                 )
                 deps = list(wait) + [backoff]
         raise AssertionError("unreachable")  # pragma: no cover

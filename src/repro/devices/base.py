@@ -176,6 +176,10 @@ class SimulatedDevice(Device):
         #: Fault injector armed by a :class:`~repro.faults.FaultPlan`
         #: (None = healthy device, zero overhead).
         self.faults = None
+        #: :class:`~repro.observe.MetricsRegistry` the driver reports
+        #: launches and transfers into; attached by the engine (None =
+        #: no instrumentation, zero overhead).
+        self.metrics = None
         #: Set by an injected permanent failure: the device is gone and
         #: every further use raises :class:`DeviceLostError`.
         self.lost = False
@@ -308,6 +312,9 @@ class SimulatedDevice(Device):
             category="transfer",
             nbytes=nbytes,
         )
+        if self.metrics is not None:
+            self.metrics.inc("adamant_transfer_bytes_total", nbytes,
+                             device=self.name, direction="h2d")
         self._store(buffer, data, event)
         return event
 
@@ -338,6 +345,9 @@ class SimulatedDevice(Device):
             category="transfer",
             nbytes=nbytes,
         )
+        if self.metrics is not None:
+            self.metrics.inc("adamant_transfer_bytes_total", nbytes,
+                             device=self.name, direction="d2h")
         return value, event
 
     def _allocate(self, alias: str, logical: int, *,
@@ -510,6 +520,7 @@ class SimulatedDevice(Device):
             label=f"{self.name}:launch:{task.container.primitive}",
             deps=wait,
             category="launch",
+            node=task.node_id,
         )
         logical_n = task.n_elements * self.data_scale
         if fused_steps is not None:
@@ -525,7 +536,15 @@ class SimulatedDevice(Device):
             label=f"{self.name}:run:{task.container.primitive}",
             deps=[launch],
             category="compute",
+            node=task.node_id,
         )
+        if self.metrics is not None:
+            self.metrics.inc("adamant_kernel_launches_total",
+                             device=self.name,
+                             primitive=task.container.primitive)
+            self.metrics.inc("adamant_kernel_seconds_total", event.duration,
+                             device=self.name,
+                             primitive=task.container.primitive)
 
         if task.output is not None:
             if task.output not in self.memory:

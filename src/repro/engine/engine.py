@@ -36,6 +36,7 @@ from repro.errors import DeviceLostError, ExecutionError, QueryAdmissionError
 from repro.faults import FaultPlan, RetryPolicy
 from repro.hardware.clock import VirtualClock
 from repro.hardware.specs import DeviceKind, DeviceSpec
+from repro.observe.metrics import MetricsRegistry
 from repro.storage import Catalog
 from repro.task.registry import TaskRegistry, default_registry
 
@@ -64,6 +65,9 @@ class QueryRequest:
     #: Run the planner's kernel-fusion pass over the graph before
     #: execution (collapses MAP/FILTER chains into single kernels).
     fuse: bool = False
+    #: Attach a per-node :class:`~repro.observe.QueryProfile` to the
+    #: result (EXPLAIN ANALYZE mode).
+    analyze: bool = False
 
 
 class Engine:
@@ -104,6 +108,10 @@ class Engine:
             reclaim=True, quarantine_threshold=quarantine_threshold)
         self._retry_policy = retry_policy
         self._fault_plan: FaultPlan | None = None
+        #: Engine-lifetime :class:`~repro.observe.MetricsRegistry`; every
+        #: plugged device, armed injector, and executed query reports
+        #: into it (see ``docs/observability.md``).
+        self.metrics = MetricsRegistry()
         if faults is not None:
             self.install_faults(faults)
 
@@ -124,8 +132,11 @@ class Engine:
         register_default_transforms(device)
         if self.enable_residency:
             device.residency = ResidencyCache(device)
+        device.metrics = self.metrics
         if self._fault_plan is not None:
             device.faults = self._fault_plan.injector_for(name)
+            if device.faults is not None:
+                device.faults.metrics = self.metrics
         self.devices[name] = device
         if default or self._default_device is None:
             self._default_device = name
@@ -170,6 +181,8 @@ class Engine:
         self._fault_plan = plan
         for name, device in self.devices.items():
             device.faults = plan.injector_for(name)
+            if device.faults is not None:
+                device.faults.metrics = self.metrics
 
     def clear_faults(self) -> None:
         """Disarm fault injection on every device."""
@@ -227,10 +240,12 @@ class Engine:
         session = QuerySession(self, query_id,
                                memory_budget=memory_budget, label=label)
         self._sessions[query_id] = session
+        self.metrics.set("adamant_sessions_active", len(self._sessions))
         return session
 
     def _close_session(self, session: QuerySession) -> None:
         self._sessions.pop(session.query_id, None)
+        self.metrics.set("adamant_sessions_active", len(self._sessions))
         for device in self.devices.values():
             if device.residency is not None:
                 device.residency.release_query(session.query_id)
@@ -246,7 +261,8 @@ class Engine:
                 default_device: str | None = None, data_scale: int = 1,
                 session: QuerySession | None = None,
                 memory_budget: int | None = None,
-                fresh: bool = False, fuse: bool = False) -> QueryResult:
+                fresh: bool = False, fuse: bool = False,
+                analyze: bool = False) -> QueryResult:
         """Execute one query on the engine's devices.
 
         In engine mode (default) the query runs in a new clock *epoch* on
@@ -265,13 +281,16 @@ class Engine:
                 bookkeeping entirely.
             fuse: Apply the planner's kernel-fusion pass to the graph
                 before execution.
+            analyze: Attach a per-node
+                :class:`~repro.observe.QueryProfile` to the result
+                (EXPLAIN ANALYZE mode).
         """
         model_cls = self._resolve_model(model)
         if fresh:
             return self._execute_fresh(
                 model_cls, graph, catalog, chunk_size=chunk_size,
                 default_device=default_device, data_scale=data_scale,
-                fuse=fuse)
+                fuse=fuse, analyze=analyze)
 
         auto = session is None
         if auto:
@@ -281,12 +300,14 @@ class Engine:
             model_obj = self._build_model(
                 model_cls, session, graph, catalog, chunk_size=chunk_size,
                 default_device=default_device, data_scale=data_scale,
-                epoch_start=epoch_start, fuse=fuse)
+                epoch_start=epoch_start, fuse=fuse, analyze=analyze)
             rebuild = self._make_rebuild(
                 model_cls, session, graph, catalog,
                 default_device=default_device, data_scale=data_scale,
-                epoch_start=epoch_start, fuse=fuse)
+                epoch_start=epoch_start, fuse=fuse, analyze=analyze)
             self._scheduler.run([(session, model_obj, rebuild)])
+            self._record_query(model_obj.name, result=session.result,
+                               error=session.error)
             if session.error is not None:
                 raise session.error
             assert session.result is not None
@@ -337,16 +358,21 @@ class Engine:
                         chunk_size=request.chunk_size,
                         default_device=request.default_device,
                         data_scale=request.data_scale,
-                        epoch_start=epoch_start, fuse=request.fuse)
+                        epoch_start=epoch_start, fuse=request.fuse,
+                        analyze=request.analyze)
                     rebuild = self._make_rebuild(
                         model_cls, session, request.graph, request.catalog,
                         default_device=request.default_device,
                         data_scale=request.data_scale,
-                        epoch_start=epoch_start, fuse=request.fuse)
+                        epoch_start=epoch_start, fuse=request.fuse,
+                        analyze=request.analyze)
                     work.append((session, model_obj, rebuild))
                 self._scheduler.run(work)
                 failure: Exception | None = None
-                for session, *_ in work:
+                for session, model_obj, _ in work:
+                    self._record_query(model_obj.name,
+                                       result=session.result,
+                                       error=session.error)
                     if session.error is not None:
                         results.append(session.error)
                         failure = failure or session.error
@@ -388,6 +414,7 @@ class Engine:
             default_device=default_device or self.default_device,
             data_scale=data_scale,
             retry_policy=self._retry_policy,
+            metrics=self.metrics,
             **kwargs,
         )
 
@@ -395,20 +422,21 @@ class Engine:
                      session: QuerySession, graph: PrimitiveGraph,
                      catalog: Catalog, *, chunk_size: int,
                      default_device: str | None, data_scale: int,
-                     epoch_start: float, fuse: bool = False
-                     ) -> ExecutionModel:
+                     epoch_start: float, fuse: bool = False,
+                     analyze: bool = False) -> ExecutionModel:
         ctx = self._context(
             graph, catalog, chunk_size=chunk_size,
             default_device=default_device, data_scale=data_scale,
             query=session.query_context(epoch_start=epoch_start),
-            fuse=fuse,
+            fuse=fuse, analyze=analyze,
         )
         return model_cls(ctx)
 
     def _make_rebuild(self, model_cls: type[ExecutionModel],
                       session: QuerySession, graph: PrimitiveGraph,
                       catalog: Catalog, *, default_device: str | None,
-                      data_scale: int, epoch_start: float, fuse: bool):
+                      data_scale: int, epoch_start: float, fuse: bool,
+                      analyze: bool = False):
         """The scheduler's recovery callback: a fresh model for the same
         query at a degraded configuration (new chunk size, devices
         excluded after quarantine, or placement spilled to the host).
@@ -446,7 +474,7 @@ class Engine:
                 default_device=default, data_scale=data_scale,
                 devices=survivors,
                 query=session.query_context(epoch_start=epoch_start),
-                fuse=fuse,
+                fuse=fuse, analyze=analyze,
             )
             return model_cls(ctx)
         return rebuild
@@ -454,17 +482,52 @@ class Engine:
     def _execute_fresh(self, model_cls: type[ExecutionModel],
                        graph: PrimitiveGraph, catalog: Catalog, *,
                        chunk_size: int, default_device: str | None,
-                       data_scale: int, fuse: bool = False) -> QueryResult:
+                       data_scale: int, fuse: bool = False,
+                       analyze: bool = False) -> QueryResult:
         """Single-shot semantics: reset the timeline and devices, run."""
         self.clock.reset()
         for device in self.devices.values():
             device.reset(data_scale=data_scale)
         ctx = self._context(graph, catalog, chunk_size=chunk_size,
                             default_device=default_device,
-                            data_scale=data_scale, fuse=fuse)
-        return model_cls(ctx).run()
+                            data_scale=data_scale, fuse=fuse,
+                            analyze=analyze)
+        model_obj = model_cls(ctx)
+        try:
+            result = model_obj.run()
+        except Exception as error:
+            self._record_query(model_obj.name, error=error)
+            raise
+        self._record_query(model_obj.name, result=result)
+        return result
 
     # -- statistics ----------------------------------------------------------
+
+    def _record_query(self, model: str, *,
+                      result: QueryResult | None = None,
+                      error: Exception | None = None) -> None:
+        """Publish one finished query's stats into the metrics registry
+        and refresh the per-device gauges."""
+        status = "ok" if error is None else "failed"
+        self.metrics.inc("adamant_queries_total", model=model, status=status)
+        if result is not None:
+            stats = result.stats
+            self.metrics.observe("adamant_query_seconds", stats.makespan,
+                                 model=model)
+            self.metrics.set("adamant_query_makespan_seconds",
+                             stats.makespan, model=model,
+                             query=stats.query_id or "q0")
+            if stats.chunks_processed:
+                self.metrics.inc("adamant_chunks_total",
+                                 stats.chunks_processed, model=model)
+        for name, device in self.devices.items():
+            self.metrics.set("adamant_device_peak_bytes",
+                             device.memory.peak_device_used, device=name)
+            if device.residency is not None:
+                self.metrics.set(
+                    "adamant_residency_resident_bytes",
+                    device.residency.stats()["resident_bytes"],
+                    device=name)
 
     def residency_stats(self) -> dict[str, dict[str, int]]:
         """Per-device residency-cache statistics (engine mode only)."""

@@ -45,6 +45,15 @@ class FaultInjector:
         #: Hooked operations seen so far (drives ``device_loss.after``).
         self.ops = 0
         self.injected: dict[str, int] = {k.value: 0 for k in FaultKind}
+        #: :class:`~repro.observe.MetricsRegistry` injections are
+        #: mirrored into (attached by the engine; None = counters only).
+        self.metrics = None
+
+    def _record(self, kind: str) -> None:
+        self.injected[kind] += 1
+        if self.metrics is not None:
+            self.metrics.inc("adamant_faults_injected_total",
+                             device=self.device_name, kind=kind)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"<FaultInjector {self.device_name!r} "
@@ -69,7 +78,7 @@ class FaultInjector:
                 self._check_loss(device, spec)
             elif spec.kind is FaultKind.TRANSIENT:
                 if self.rng.random() < spec.rate:
-                    self.injected["transient"] += 1
+                    self._record("transient")
                     raise TransientDeviceError(
                         f"injected transient kernel fault in "
                         f"{primitive!r} (op #{self.ops})"
@@ -78,7 +87,7 @@ class FaultInjector:
                                node_id=task.node_id)
             elif spec.kind is FaultKind.LATENCY:
                 if self.rng.random() < spec.rate:
-                    self.injected["latency"] += 1
+                    self._record("latency")
                     factor = max(factor, spec.factor)
         return factor
 
@@ -96,7 +105,7 @@ class FaultInjector:
                 self._check_loss(device, spec)
             elif spec.kind is FaultKind.OOM:
                 if spec.primitive is None and self.rng.random() < spec.rate:
-                    self.injected["oom"] += 1
+                    self._record("oom")
                     raise DeviceMemoryError(
                         f"injected allocation failure for {alias!r} "
                         f"(op #{self.ops})",
@@ -110,7 +119,7 @@ class FaultInjector:
             return
         if not device.lost:
             device.lost = True
-            self.injected["device_loss"] += 1
+            self._record("device_loss")
         raise DeviceLostError(
             f"injected permanent device loss (op #{self.ops}, "
             f"after={spec.after})"

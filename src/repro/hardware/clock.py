@@ -44,6 +44,10 @@ class Event:
         owner: Query id the event was charged to (empty outside engine
             runs); the engine's per-query makespan accounting filters on
             it when several queries share one timeline.
+        node: Plan node the event realizes (kernel launches, kernel
+            runs, retry backoffs and unified-memory reads carry it);
+            empty for work that is not attributable to a single node.
+            The ANALYZE profiler groups wall-clock time by it.
     """
 
     eid: int
@@ -54,6 +58,7 @@ class Event:
     category: str = "compute"
     nbytes: int = 0
     owner: str = ""
+    node: str = ""
 
     @property
     def duration(self) -> float:
@@ -122,6 +127,7 @@ class VirtualClock:
         category: str = "compute",
         nbytes: int = 0,
         not_before: float = 0.0,
+        node: str = "",
     ) -> Event:
         """Schedule *duration* seconds of work on *stream*.
 
@@ -146,6 +152,7 @@ class VirtualClock:
             category=category,
             nbytes=nbytes,
             owner=self.current_owner or "",
+            node=node,
         )
         s.available_at = event.end
         s.events.append(event)

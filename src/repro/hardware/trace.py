@@ -39,15 +39,29 @@ _GLYPHS = {
 def counters(clock: VirtualClock) -> dict[str, int]:
     """Launch counters of the recorded timeline.
 
-    ``kernels_launched`` counts every host-side launch event;
-    ``fused_kernels_launched`` the subset that launched the planner's
-    fused MAP/FILTER kernel.  The difference before/after fusion is the
-    launch-overhead saving the pass buys.  ``retries`` counts the
-    backoff waits charged by transient-fault recovery and
-    ``recovery_actions`` the scheduler's restart markers (OOM
-    degradation and device failover).
+    ``kernels_launched`` counts every host-side launch event of each
+    query's *completed* run; ``fused_kernels_launched`` the subset that
+    launched the planner's fused MAP/FILTER kernel.  The difference
+    before/after fusion is the launch-overhead saving the pass buys.
+    ``retries`` counts the backoff waits charged by transient-fault
+    recovery and ``recovery_actions`` the scheduler's restart markers
+    (OOM degradation and device failover).
+
+    A scheduler restart re-runs a query's graph from the top, leaving
+    the aborted attempt's launch events on the shared timeline; counting
+    them would double-charge the plan (most visibly for fused nodes,
+    whose whole point is a lower launch count).  Launches are therefore
+    counted per owner only after the owner's last ``recovery`` marker —
+    exactly the run that completed.  ``retries`` and
+    ``recovery_actions`` intentionally keep counting *every* recovery
+    action, aborted attempts included.
     """
-    launches = [e for e in clock.events if e.category == "launch"]
+    restart_eid: dict[str, int] = {}
+    for e in clock.events:
+        if e.category == "recovery":
+            restart_eid[e.owner] = max(restart_eid.get(e.owner, -1), e.eid)
+    launches = [e for e in clock.events if e.category == "launch"
+                and e.eid > restart_eid.get(e.owner, -1)]
     return {
         "kernels_launched": len(launches),
         "fused_kernels_launched": sum(
@@ -100,7 +114,8 @@ def to_chrome_trace(clock: VirtualClock, *, process_name: str = "adamant",
             "tid": tid_of[event.stream],
             "ts": event.start * time_scale,
             "dur": event.duration * time_scale,
-            "args": {"nbytes": event.nbytes},
+            "args": ({"nbytes": event.nbytes, "node": event.node}
+                     if event.node else {"nbytes": event.nbytes}),
         })
     return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
 

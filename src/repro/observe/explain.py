@@ -1,0 +1,209 @@
+"""EXPLAIN: render a primitive graph's execution plan before running it.
+
+:func:`explain` answers "what would the executor do with this plan?"
+without spending any simulated time: which pipelines the graph splits
+into, which device each one runs on, which kernel variant every node
+resolves to, where the pipeline breakers sit, how many chunks the scan
+loop would take, and what the calibrated
+:class:`~repro.hardware.costmodel.CostModel` estimates each step to
+cost.  The estimates deliberately reuse the same decay model as the
+cost-based placement pass (:mod:`repro.planner.placement`), so EXPLAIN,
+the optimizer, and the simulation never disagree about what is cheap.
+
+The output is a deterministic function of (graph, catalog, devices,
+options): rendering the same plan twice yields byte-identical text,
+which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.graph import PrimitiveGraph, PrimitiveNode
+from repro.core.pipelines import split_pipelines
+from repro.devices.base import SimulatedDevice
+from repro.errors import ExecutionError
+from repro.hardware.costmodel import TransferDirection
+from repro.planner.fusion import FUSED_PRIMITIVE
+from repro.storage import Catalog
+
+__all__ = ["explain", "estimate_node_seconds", "estimate_graph_seconds"]
+
+#: Mirrors ``repro.planner.placement``: primitives that shrink the row
+#: domain for everything downstream of them.
+_SELECTIVE_PRIMITIVES = ("materialize", "materialize_position",
+                         "hash_probe", "filter_position")
+_DEFAULT_SELECTIVITY = 0.5
+
+#: Default logical chunk size (rows), matching the engine's.
+_DEFAULT_CHUNK_SIZE = 2 ** 25
+
+
+def estimate_node_seconds(node: PrimitiveNode, device: SimulatedDevice,
+                          n_elements: int) -> float:
+    """Cost-model estimate for one node at cardinality *n_elements*.
+
+    Regular nodes are charged one launch plus the calibrated kernel
+    time for their cost key (exactly the terms the placement estimator
+    uses); fused MAP/FILTER nodes are charged one launch plus
+    :meth:`~repro.hardware.costmodel.CostModel.fused_kernel_seconds`
+    over their recorded step list.
+    """
+    cost = device.cost
+    n = max(1, int(n_elements))
+    cost_params = dict(node.cost_params)
+    fused_steps = cost_params.pop("fused_steps", None)
+    fused_num_args = cost_params.pop("fused_num_args", None)
+    if fused_steps is not None:
+        launch = cost.launch_seconds(int(fused_num_args or 2))
+        return launch + cost.fused_kernel_seconds(fused_steps, n)
+    return cost.launch_seconds(2) + cost.kernel_seconds(
+        node.defn.cost_key, n, **cost_params)
+
+
+def estimate_graph_seconds(graph: PrimitiveGraph, catalog: Catalog,
+                           devices: dict[str, SimulatedDevice],
+                           default_device: str, *, data_scale: int = 1,
+                           ) -> dict[str, float]:
+    """Per-node cost estimates for every node of *graph*.
+
+    Walks each pipeline in order, decaying the row domain after
+    selective primitives the same way the placement estimator does, and
+    returns ``{node_id: estimated_seconds}`` (kernel + launch only;
+    transfers are pipeline-level and reported separately by EXPLAIN).
+    """
+    estimates: dict[str, float] = {}
+    for pipeline in split_pipelines(graph):
+        if pipeline.scan_refs:
+            rows = catalog.column(pipeline.scan_refs[0]).values.shape[0]
+        else:
+            rows = 1024  # breaker-only pipelines: nominal cardinality
+        depth_rows = float(rows * data_scale)
+        for nid in pipeline.node_ids:
+            node = graph.nodes[nid]
+            device = devices[node.device or default_device]
+            estimates[nid] = estimate_node_seconds(
+                node, device, max(1, int(depth_rows)))
+            if node.primitive in _SELECTIVE_PRIMITIVES:
+                depth_rows *= _DEFAULT_SELECTIVITY
+    return estimates
+
+
+def _fmt_seconds(seconds: float) -> str:
+    return f"{seconds:.6g}s"
+
+
+def _fmt_bytes(nbytes: int) -> str:
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return (f"{int(value)}{unit}" if unit == "B"
+                    else f"{value:.1f}{unit}")
+        value /= 1024
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _node_line(node: PrimitiveNode, device: SimulatedDevice,
+               est: float) -> str:
+    if node.primitive == FUSED_PRIMITIVE:
+        steps = [step["primitive"] for step in node.params.get("steps", [])]
+        primitive = f"{FUSED_PRIMITIVE}[{'+'.join(steps)}]"
+    else:
+        primitive = node.primitive
+    variant = node.variant or device.variant_key
+    breaker = "  *breaker*" if node.is_breaker else ""
+    return (f"    {node.node_id}: {primitive}  variant={variant}  "
+            f"est={_fmt_seconds(est)}{breaker}")
+
+
+def explain(graph: PrimitiveGraph, catalog: Catalog, *,
+            devices: dict[str, SimulatedDevice],
+            default_device: str | None = None, model: str = "chunked",
+            chunk_size: int = _DEFAULT_CHUNK_SIZE, data_scale: int = 1,
+            fuse: bool = False) -> str:
+    """Render the execution plan for *graph* as an annotated tree.
+
+    Args:
+        graph: The primitive graph to explain (not mutated; fusion is
+            applied to a copy when *fuse* is set).
+        catalog: Supplies scan cardinalities and byte volumes.
+        devices: Plugged devices by name (same mapping the executor or
+            engine holds).
+        default_device: Device for nodes without a placement annotation
+            (defaults to the alphabetically first plugged device).
+        model: Execution-model name, shown in the header and used to
+            decide whether scans are chunked (``"oaat"`` is not).
+        chunk_size: Logical rows per chunk for the chunk count.
+        data_scale: Logical rows represented by each physical row.
+        fuse: Apply the kernel-fusion pass before explaining, matching
+            ``run(..., fuse=True)``.
+    """
+    if not devices:
+        raise ExecutionError("no devices to explain against")
+    if default_device is None:
+        default_device = sorted(devices)[0]
+    if default_device not in devices:
+        raise ExecutionError(
+            f"default device {default_device!r} not plugged; "
+            f"plugged: {sorted(devices)}")
+    if fuse:
+        from repro.planner.fusion import fuse_graph
+        graph = fuse_graph(graph)
+    graph.validate()
+    estimates = estimate_graph_seconds(
+        graph, catalog, devices, default_device, data_scale=data_scale)
+    physical_chunk = max(1, chunk_size // data_scale)
+
+    lines = [
+        f"EXPLAIN {graph.name}",
+        f"  model={model}  chunk_size={chunk_size}  "
+        f"data_scale={data_scale}  fuse={'on' if fuse else 'off'}",
+    ]
+    for name in sorted(devices):
+        device = devices[name]
+        lines.append(
+            f"  device {name}: {device.spec.kind.value}/"
+            f"{device.sdk.value} ({device.spec.name})")
+
+    total = 0.0
+    for pipeline in split_pipelines(graph):
+        node_est = sum(estimates[nid] for nid in pipeline.node_ids)
+        placements = sorted({
+            graph.nodes[nid].device or default_device
+            for nid in pipeline.node_ids
+        })
+        device = devices[placements[0]]
+        scan_bytes = sum(
+            catalog.column(ref).nbytes for ref in pipeline.scan_refs
+        ) * data_scale
+        transfer_est = device.cost.transfer_seconds(
+            scan_bytes, direction=TransferDirection.H2D, pinned=False,
+        ) if scan_bytes else 0.0
+        if pipeline.scan_refs:
+            rows = catalog.column(
+                pipeline.scan_refs[0]).values.shape[0] * data_scale
+        else:
+            rows = 0
+        if model == "oaat" or not pipeline.is_chunkable:
+            chunks = 1
+        else:
+            physical_rows = rows // data_scale
+            chunks = max(1, math.ceil(physical_rows / physical_chunk))
+        total += node_est + transfer_est
+        lines.append(
+            f"  pipeline {pipeline.index}  device={'+'.join(placements)}  "
+            f"rows={rows}  chunks={chunks}  "
+            f"est={_fmt_seconds(node_est + transfer_est)}")
+        for ref in pipeline.scan_refs:
+            nbytes = catalog.column(ref).nbytes * data_scale
+            lines.append(f"    scan {ref}  ({_fmt_bytes(nbytes)})")
+        if pipeline.external_inputs:
+            lines.append("    external inputs: "
+                         + ", ".join(pipeline.external_inputs))
+        for nid in pipeline.node_ids:
+            node = graph.nodes[nid]
+            lines.append(_node_line(
+                node, devices[node.device or default_device],
+                estimates[nid]))
+    lines.append(f"  estimated total: {_fmt_seconds(total)}")
+    return "\n".join(lines)

@@ -1,0 +1,311 @@
+"""The metrics registry: one sink for every runtime counter.
+
+Before this module existed, introspection numbers were scattered across
+``ExecutionStats`` fields, ``trace.counters()``, residency-cache dicts
+and fault-injector tallies.  :class:`MetricsRegistry` gives the engine,
+scheduler, transfer hub, fault ladder and residency cache one place to
+report into, with the three standard instrument kinds:
+
+* **counter** — monotonically increasing totals (kernel launches,
+  transferred bytes, retries);
+* **gauge** — point-in-time values (active sessions, resident bytes);
+* **histogram** — distributions over fixed buckets (query makespans).
+
+Metrics carry labels (``device``, ``query``, ``primitive``, ``model``,
+...) and export three ways: :meth:`MetricsRegistry.snapshot` (plain
+dict, for tests), :meth:`MetricsRegistry.to_json` and
+:meth:`MetricsRegistry.prometheus_text` (the Prometheus text exposition
+format).  The module imports nothing from the rest of the library, so
+any layer may report into a registry without import cycles.
+
+The well-known metrics are declared in :data:`METRIC_CATALOG`; the
+``docs/observability.md`` catalog table is generated from the same
+declarations, so the documentation cannot drift from the code.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+__all__ = ["METRIC_CATALOG", "DEFAULT_BUCKETS", "MetricsRegistry"]
+
+#: Histogram buckets (seconds) sized for simulated query makespans.
+DEFAULT_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
+
+#: name -> (type, label names, help).  The single source of truth for
+#: every metric the runtime emits; ``docs/observability.md`` renders
+#: this table and a test asserts the two stay in sync.
+METRIC_CATALOG: dict[str, tuple[str, tuple[str, ...], str]] = {
+    "adamant_kernel_launches_total": (
+        "counter", ("device", "primitive"),
+        "Kernel launches issued, per device and primitive."),
+    "adamant_kernel_seconds_total": (
+        "counter", ("device", "primitive"),
+        "Simulated kernel execution seconds, per device and primitive."),
+    "adamant_transfer_bytes_total": (
+        "counter", ("device", "direction"),
+        "Logical bytes moved over the interconnect (h2d / d2h)."),
+    "adamant_residency_hits_total": (
+        "counter", ("device",),
+        "Scan chunks served from the cross-query residency cache."),
+    "adamant_residency_hit_bytes_total": (
+        "counter", ("device",),
+        "H2D bytes avoided by residency-cache hits."),
+    "adamant_retries_total": (
+        "counter", ("device", "primitive"),
+        "Chunk-level kernel retries after transient device faults."),
+    "adamant_recovery_actions_total": (
+        "counter", ("reason",),
+        "Scheduler recovery restarts, by degradation-ladder reason."),
+    "adamant_faults_injected_total": (
+        "counter", ("device", "kind"),
+        "Faults injected by the armed fault plan."),
+    "adamant_queries_total": (
+        "counter", ("model", "status"),
+        "Queries finished, per execution model and outcome."),
+    "adamant_chunks_total": (
+        "counter", ("model",),
+        "Scan chunks processed, per execution model."),
+    "adamant_query_seconds": (
+        "histogram", ("model",),
+        "Per-query simulated makespan distribution."),
+    "adamant_query_makespan_seconds": (
+        "gauge", ("model", "query"),
+        "Last observed makespan of each query."),
+    "adamant_sessions_active": (
+        "gauge", (),
+        "Query sessions currently admitted to the engine."),
+    "adamant_device_peak_bytes": (
+        "gauge", ("device",),
+        "Peak device memory used since the last reset."),
+    "adamant_residency_resident_bytes": (
+        "gauge", ("device",),
+        "Bytes held by each device's residency cache."),
+}
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _escape(value: str) -> str:
+    """Escape a label value per the Prometheus text format."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value (integers without a trailing ``.0``)."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    """One named instrument with labelled sample series."""
+
+    def __init__(self, name: str, kind: str, labelnames: tuple[str, ...],
+                 help_text: str, buckets: tuple[float, ...] = ()) -> None:
+        self.name = name
+        self.kind = kind
+        self.labelnames = tuple(labelnames)
+        self.help = help_text
+        self.buckets = tuple(buckets)
+        #: label values (ordered by labelnames) -> scalar, or histogram
+        #: state ``[bucket counts..., sum, count]``.
+        self.samples: dict[tuple[str, ...], list[float]] = {}
+
+    def _key(self, labels: dict[str, str]) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels "
+                f"{sorted(self.labelnames)}, got {sorted(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _series(self, labels: dict[str, str]) -> list[float]:
+        key = self._key(labels)
+        if key not in self.samples:
+            if self.kind == "histogram":
+                self.samples[key] = [0.0] * (len(self.buckets) + 2)
+            else:
+                self.samples[key] = [0.0]
+        return self.samples[key]
+
+    def inc(self, amount: float, **labels: str) -> None:
+        if self.kind != "counter":
+            raise ValueError(f"{self.name!r} is a {self.kind}, not a counter")
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self._series(labels)[0] += amount
+
+    def set(self, value: float, **labels: str) -> None:
+        if self.kind != "gauge":
+            raise ValueError(f"{self.name!r} is a {self.kind}, not a gauge")
+        self._series(labels)[0] = float(value)
+
+    def observe(self, value: float, **labels: str) -> None:
+        if self.kind != "histogram":
+            raise ValueError(
+                f"{self.name!r} is a {self.kind}, not a histogram")
+        series = self._series(labels)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                series[i] += 1
+        series[-2] += value   # sum
+        series[-1] += 1       # count
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of counters, gauges and histograms.
+
+    The convenience methods (:meth:`inc`, :meth:`set`, :meth:`observe`)
+    look the metric up in :data:`METRIC_CATALOG` — declared metrics get
+    their documented type, labels and help automatically; undeclared
+    names are created ad hoc from the call's keyword labels.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    # -- declaration ---------------------------------------------------------
+
+    def _declare(self, name: str, kind: str,
+                 labelnames: tuple[str, ...] | None, help_text: str,
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> _Metric:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if metric.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}")
+            return metric
+        if name in METRIC_CATALOG:
+            cat_kind, cat_labels, cat_help = METRIC_CATALOG[name]
+            if cat_kind != kind:
+                raise ValueError(
+                    f"metric {name!r} is declared as a {cat_kind}")
+            labelnames = cat_labels
+            help_text = help_text or cat_help
+        metric = _Metric(name, kind, tuple(labelnames or ()), help_text,
+                         buckets if kind == "histogram" else ())
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str = "",
+                labelnames: tuple[str, ...] | None = None) -> _Metric:
+        return self._declare(name, "counter", labelnames, help_text)
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: tuple[str, ...] | None = None) -> _Metric:
+        return self._declare(name, "gauge", labelnames, help_text)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labelnames: tuple[str, ...] | None = None,
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> _Metric:
+        return self._declare(name, "histogram", labelnames, help_text,
+                             buckets)
+
+    # -- convenience instrumentation -----------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0, **labels: str) -> None:
+        """Increment counter *name* (creating it on first use)."""
+        self.counter(name, labelnames=tuple(sorted(labels))).inc(
+            amount, **labels)
+
+    def set(self, name: str, value: float, **labels: str) -> None:
+        """Set gauge *name* (creating it on first use)."""
+        self.gauge(name, labelnames=tuple(sorted(labels))).set(
+            value, **labels)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        """Record *value* into histogram *name* (creating it on first
+        use with :data:`DEFAULT_BUCKETS`)."""
+        self.histogram(name, labelnames=tuple(sorted(labels))).observe(
+            value, **labels)
+
+    # -- reading -------------------------------------------------------------
+
+    def value(self, name: str, **labels: str) -> float:
+        """Current value of a counter/gauge series (0.0 if never set)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return 0.0
+        series = metric.samples.get(metric._key(labels))
+        return series[0] if series else 0.0
+
+    def total(self, name: str) -> float:
+        """Sum of a counter/gauge over all of its label series."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return 0.0
+        if metric.kind == "histogram":
+            return sum(series[-1] for series in metric.samples.values())
+        return sum(series[0] for series in metric.samples.values())
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of every metric, for tests and the JSON
+        exporter.  Sample order is deterministic (sorted label values)."""
+        out: dict = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            samples = []
+            for key in sorted(metric.samples):
+                labels = dict(zip(metric.labelnames, key))
+                series = metric.samples[key]
+                if metric.kind == "histogram":
+                    samples.append({
+                        "labels": labels,
+                        "buckets": {
+                            _fmt(bound): series[i]
+                            for i, bound in enumerate(metric.buckets)
+                        },
+                        "sum": series[-2],
+                        "count": series[-1],
+                    })
+                else:
+                    samples.append({"labels": labels, "value": series[0]})
+            out[name] = {"type": metric.kind, "help": metric.help,
+                         "samples": samples}
+        return out
+
+    # -- exporters -----------------------------------------------------------
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Serialize :meth:`snapshot` as JSON."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def prometheus_text(self) -> str:
+        """Render every metric in the Prometheus text exposition format."""
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            for key in sorted(metric.samples):
+                series = metric.samples[key]
+                pairs = [f'{label}="{_escape(value)}"'
+                         for label, value in zip(metric.labelnames, key)]
+                if metric.kind == "histogram":
+                    cumulative = 0.0
+                    for i, bound in enumerate(metric.buckets):
+                        cumulative = series[i]
+                        bucket_pairs = pairs + [f'le="{bound:g}"']
+                        lines.append(
+                            f"{name}_bucket{{{','.join(bucket_pairs)}}} "
+                            f"{_fmt(cumulative)}")
+                    inf_pairs = pairs + ['le="+Inf"']
+                    lines.append(f"{name}_bucket{{{','.join(inf_pairs)}}} "
+                                 f"{_fmt(series[-1])}")
+                    suffix = f"{{{','.join(pairs)}}}" if pairs else ""
+                    lines.append(f"{name}_sum{suffix} {_fmt(series[-2])}")
+                    lines.append(f"{name}_count{suffix} {_fmt(series[-1])}")
+                else:
+                    suffix = f"{{{','.join(pairs)}}}" if pairs else ""
+                    lines.append(f"{name}{suffix} {_fmt(series[0])}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        """Forget every metric (fresh registry)."""
+        self._metrics.clear()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Check that every relative markdown link in the repo's docs resolves.
+
+Scans the top-level ``*.md`` files and ``docs/*.md`` for
+``[text](target)`` links, ignores absolute URLs (``http://``,
+``https://``, ``mailto:``) and pure in-page anchors (``#...``), and
+verifies the target path exists relative to the linking file.  Run by
+CI and, via :func:`broken_links`, by ``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _markdown_files(root: pathlib.Path) -> list[pathlib.Path]:
+    return sorted(root.glob("*.md")) + sorted((root / "docs").glob("*.md"))
+
+
+def broken_links(root: pathlib.Path) -> list[str]:
+    """Return ``"file: target"`` for every relative link that does not
+    resolve (empty list == healthy docs)."""
+    broken: list[str] = []
+    for doc in _markdown_files(root):
+        for target in _LINK.findall(doc.read_text()):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            if not (doc.parent / path).exists():
+                broken.append(f"{doc.relative_to(root)}: {target}")
+    return broken
+
+
+def main() -> int:
+    root = pathlib.Path(__file__).resolve().parents[1]
+    broken = broken_links(root)
+    if broken:
+        for entry in broken:
+            print(f"broken link: {entry}", file=sys.stderr)
+        return 1
+    print(f"doc links OK ({len(_markdown_files(root))} files scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
