@@ -124,6 +124,10 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "cache warming up (default 2)")
     concurrent.add_argument("--no-fuse", action="store_true",
                             help="disable the kernel-fusion pass")
+    concurrent.add_argument("--adaptive", action="store_true",
+                            help="enable adaptive execution (online "
+                                 "calibration, dynamic chunk sizing, "
+                                 "work stealing)")
     concurrent.add_argument("--faults", default=None, metavar="SPEC",
                             help="inject faults, e.g. "
                                  "'dev0:transient:0.05,seed=7' "
@@ -156,6 +160,9 @@ def _build_parser() -> argparse.ArgumentParser:
     explain_cmd.add_argument("--memory-limit", type=int, default=None)
     explain_cmd.add_argument("--no-fuse", action="store_true",
                              help="disable the kernel-fusion pass")
+    explain_cmd.add_argument("--adaptive", action="store_true",
+                             help="annotate the plan with adaptive-"
+                                  "execution actions")
 
     for name, help_text in (("run", "run one query under one model"),
                             ("compare", "run one query under all models")):
@@ -176,6 +183,10 @@ def _build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--no-fuse", action="store_true",
                          help="disable the kernel-fusion pass (MAP/FILTER "
                               "chains run as individual kernels)")
+        cmd.add_argument("--adaptive", action="store_true",
+                         help="enable adaptive execution (online "
+                              "calibration, dynamic chunk sizing, work "
+                              "stealing); results stay byte-identical")
         if name == "run":
             cmd.add_argument("--model", choices=sorted(MODELS),
                              default="chunked")
@@ -358,7 +369,8 @@ def _run_with_faults(args, graph, catalog, plan, *, analyze=False):
     result = engine.execute(graph, catalog, model=args.model,
                             chunk_size=args.chunk_size,
                             data_scale=args.data_scale,
-                            fuse=not args.no_fuse, analyze=analyze)
+                            fuse=not args.no_fuse, analyze=analyze,
+                            adaptive=args.adaptive)
     return result, engine.metrics
 
 
@@ -372,7 +384,8 @@ def cmd_explain(args) -> int:
     print(explain(graph, catalog, devices=executor.devices,
                   default_device=executor.default_device,
                   model=args.model, chunk_size=args.chunk_size,
-                  data_scale=args.data_scale, fuse=not args.no_fuse))
+                  data_scale=args.data_scale, fuse=not args.no_fuse,
+                  adaptive=args.adaptive))
     return 0
 
 
@@ -389,7 +402,8 @@ def cmd_run(args) -> int:
                               chunk_size=args.chunk_size,
                               data_scale=args.data_scale,
                               fuse=not args.no_fuse,
-                              analyze=args.analyze)
+                              analyze=args.analyze,
+                              adaptive=args.adaptive)
         metrics = executor.metrics
     answer = module.finalize(result, catalog)
     expected = _oracle(args, catalog)
@@ -409,6 +423,10 @@ def cmd_run(args) -> int:
               f"{result.stats.oom_recoveries} oom recoveries, "
               f"{result.stats.failovers} failovers, "
               f"quarantined={result.stats.quarantined_devices or '[]'}")
+    if args.adaptive:
+        print(f"adaptive: {result.stats.adaptive_resizes} resizes, "
+              f"{result.stats.adaptive_steals} steals, "
+              f"{result.stats.adaptive_replacements} replacements")
     if args.analyze and result.profile is not None:
         print(result.profile.render())
     if args.metrics_out:
@@ -432,7 +450,8 @@ def cmd_compare(args) -> int:
             result = executor.run(graph, catalog, model=model,
                                   chunk_size=args.chunk_size,
                                   data_scale=args.data_scale,
-                                  fuse=not args.no_fuse)
+                                  fuse=not args.no_fuse,
+                                  adaptive=args.adaptive)
         except Exception as error:  # OOM for oaat is expected behaviour
             print(f"{model:24s} --   {type(error).__name__}: {error}")
             continue
@@ -478,6 +497,7 @@ def cmd_concurrent(args) -> int:
             catalog=catalog, model=args.model, chunk_size=args.chunk_size,
             data_scale=args.data_scale, label=name,
             fuse=not args.no_fuse, analyze=args.analyze,
+            adaptive=args.adaptive,
         ) for name in names]
 
     status = 0

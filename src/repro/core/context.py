@@ -126,6 +126,14 @@ class ExecutionStats:
     failovers: int = 0
     oom_recoveries: int = 0
     quarantined_devices: list[str] = field(default_factory=list)
+    #: Adaptive-execution actions (zero unless the run had
+    #: ``adaptive=True``): chunk-size changes applied by the dynamic
+    #: sizer, split-model chunks dispatched to a different device than
+    #: the static proportional split would have chosen, and later
+    #: pipelines re-placed after calibrator divergence.
+    adaptive_resizes: int = 0
+    adaptive_steals: int = 0
+    adaptive_replacements: int = 0
 
     @property
     def compute_time(self) -> float:
@@ -170,7 +178,8 @@ class ExecutionContext:
                  fuse: bool = False,
                  retry_policy: "RetryPolicy | None" = None,
                  metrics: object | None = None,
-                 analyze: bool = False) -> None:
+                 analyze: bool = False,
+                 adaptive: bool = False) -> None:
         if not devices:
             raise ExecutionError("no devices plugged into the executor")
         if default_device not in devices:
@@ -208,6 +217,10 @@ class ExecutionContext:
         #: Attach a per-node :class:`~repro.observe.QueryProfile` to the
         #: result (EXPLAIN ANALYZE mode).
         self.analyze = analyze
+        #: Enable online calibration, dynamic chunk sizing and
+        #: work-stealing (see :mod:`repro.planner.adaptive`); results
+        #: stay byte-identical to the static run.
+        self.adaptive = adaptive
 
     @property
     def physical_chunk_rows(self) -> int:

@@ -109,7 +109,7 @@ class AdamantExecutor:
             model: str = "chunked", chunk_size: int = DEFAULT_CHUNK_SIZE,
             default_device: str | None = None,
             data_scale: int = 1, fuse: bool = False,
-            analyze: bool = False) -> QueryResult:
+            analyze: bool = False, adaptive: bool = False) -> QueryResult:
         """Execute *graph* against *catalog* under one execution model.
 
         Each run starts on a fresh timeline: the clock is reset and every
@@ -130,9 +130,14 @@ class AdamantExecutor:
             analyze: Attach a per-node
                 :class:`~repro.observe.QueryProfile` to the result
                 (EXPLAIN ANALYZE mode; see ``result.profile.render()``).
+            adaptive: Enable adaptive execution — online cost-model
+                calibration, dynamic chunk sizing and split-model work
+                stealing (:mod:`repro.planner.adaptive`).  Results stay
+                byte-identical to the static run.
         """
         return self._engine.execute(graph, catalog, model=model,
                                     chunk_size=chunk_size,
                                     default_device=default_device,
                                     data_scale=data_scale, fresh=True,
-                                    fuse=fuse, analyze=analyze)
+                                    fuse=fuse, analyze=analyze,
+                                    adaptive=adaptive)

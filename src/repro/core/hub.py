@@ -151,6 +151,14 @@ class DataTransferHub:
         source_name = edge.device_id
         if source_name is None or source_name == target_device.name:
             events: list[Event] = []
+            # A chunked consumer re-routes the same edge every chunk: the
+            # first chunk moved the data here under the routed alias, so
+            # later chunks find the copy there rather than under the
+            # producer's original name.
+            if (source_alias not in target_device.memory
+                    and f"{source_alias}@{target_device.name}"
+                    in target_device.memory):
+                source_alias = f"{source_alias}@{target_device.name}"
             buffer = target_device.memory.get(source_alias)
             if buffer.data_format != target_device.data_format:
                 events.append(target_device.transform_memory(

@@ -98,6 +98,13 @@ class ExecutionModel(abc.ABC):
         #: keeps concurrent queries' buffers apart in shared devices.
         self.qp = ctx.query.alias_prefix
         self._spans: list[tuple[int, float, float]] = []
+        #: Adaptive-execution companion (None for static runs).
+        self.adaptive = None
+        if ctx.adaptive:
+            # Imported lazily: the planner imports core modules, so a
+            # module-level import here would be circular.
+            from repro.planner.adaptive import AdaptiveController
+            self.adaptive = AdaptiveController(ctx)
 
     # -- template -----------------------------------------------------------
 
@@ -125,6 +132,10 @@ class ExecutionModel(abc.ABC):
             self.run_pipeline(pipeline)
             self._spans.append((pipeline.index, started,
                                 self.ctx.clock.now()))
+            if self.adaptive is not None and len(self.ctx.devices) > 1:
+                # Re-place pipelines that have not started yet when the
+                # calibrator overlay diverged beyond the threshold.
+                self.adaptive.maybe_replace(pipeline.index)
             yield pipeline
 
     def finalize(self) -> QueryResult:
@@ -136,6 +147,10 @@ class ExecutionModel(abc.ABC):
             stats=self.ctx.collect_stats(chunks=self.chunks_processed,
                                          pipeline_spans=self._spans),
         )
+        if self.adaptive is not None:
+            result.stats.adaptive_resizes = self.adaptive.resizes
+            result.stats.adaptive_steals = self.adaptive.steals
+            result.stats.adaptive_replacements = self.adaptive.replacements
         if self.ctx.analyze:
             # Imported lazily: observe sits above the core layer.
             from repro.observe.profile import build_profile
@@ -346,19 +361,31 @@ class ExecutionModel(abc.ABC):
         partials: dict[str, list[ChunkPartial]] = {nid: [] for nid in persisted}
 
         chunk_last_compute: list[Event] = []
-        starts = list(range(0, total, chunk)) or [0]
         full_input_nodes = [
             nid for nid in pipeline.node_ids
             if graph.nodes[nid].defn.requires_full_input
         ]
-        if full_input_nodes and len(starts) > 1:
+        if full_input_nodes and total > chunk:
             raise ExecutionError(
                 f"primitives {full_input_nodes} require their full input "
                 f"(sorting is not chunk-decomposable); run the plan under "
                 f"'oaat' or with a chunk_size covering all {total} rows"
             )
-        for ci, start in enumerate(starts):
+        # Dynamic chunk sizing (adaptive runs): start from the planner's
+        # chunk, then let the sizer grow/shrink between chunks.  Results
+        # stay byte-identical — the exactness gate below disables sizing
+        # when any persisted partial would not combine exactly under a
+        # different chunk grouping.
+        sizer = None
+        if self.adaptive is not None and not full_input_nodes \
+                and total > chunk:
+            sizer = self.adaptive.make_sizer(pipeline, total, n_buffers)
+        overhead = streaming = 0.0
+        ci = 0
+        start = 0
+        while True:
             stop = min(start + chunk, total)
+            cursor = self.ctx.clock.event_count
             # Which staging buffer this chunk lands in.
             scan_alias_of = {
                 ref: buffers[ci % n_buffers]
@@ -404,6 +431,54 @@ class ExecutionModel(abc.ABC):
                     partials[nid].append(ChunkPartial(value, start))
             chunk_last_compute.append(last)  # type: ignore[arg-type]
             self.chunks_processed += 1
+
+            if self.adaptive is not None:
+                overhead, streaming = self.adaptive.observe_chunk(
+                    device, pipeline, stop - start,
+                    self.ctx.clock.events_since(cursor))
+            if stop >= total:
+                break
+            if sizer is not None and ci == 0:
+                from repro.planner.adaptive import exact_partial
+                if not all(
+                    exact_partial(parts[0].value,
+                                  str(graph.nodes[nid].params.get(
+                                      "fn", "sum")))
+                    for nid, parts in partials.items()
+                ):
+                    sizer = None
+            # Sizing decisions start after a one-chunk warmup: chunk 0
+            # carries one-time costs (output-buffer allocation, compile)
+            # that would overstate the recurring per-chunk overhead.
+            if sizer is not None and ci >= 1:
+                realloc = sum(
+                    n_buffers * device.cost.alloc_seconds(
+                        2 * chunk
+                        * int(self.ctx.catalog.column(ref).dtype.itemsize),
+                        pinned=self.uses_pinned_staging)
+                    for ref in scan_buffers
+                )
+                proposed = sizer.propose(stop, overhead, streaming,
+                                         realloc_seconds=realloc)
+                if proposed != chunk:
+                    if proposed > chunk:
+                        # Regrow the staging buffers to the new capacity
+                        # (charged like any other allocation).
+                        for ref, buffers in scan_buffers.items():
+                            width = int(
+                                self.ctx.catalog.column(ref).dtype.itemsize)
+                            for alias in buffers:
+                                device.delete_memory(alias)
+                                if self.uses_pinned_staging:
+                                    device.add_pinned_memory(
+                                        alias, proposed * width)
+                                else:
+                                    device.prepare_memory(
+                                        alias, proposed * width)
+                    self.adaptive.record_resize(device, chunk, proposed)
+                    chunk = proposed
+            ci += 1
+            start = stop
 
         # Threads re-synchronize at the pipeline breaker (Algorithm 2).
         self.ctx.clock.barrier([device.transfer_stream,

@@ -70,7 +70,10 @@ class SplitChunkedModel(ExecutionModel):
                 current, _ = self.hub.router(carrier, current, device)
                 per_device_external[(ext, device.name)] = current
 
-        # Assign chunks round-robin weighted by the shares.
+        # Assign chunks round-robin weighted by the shares.  Adaptive
+        # runs treat this static proportional split only as the baseline
+        # for steal accounting and instead claim each chunk from a
+        # shared morsel queue (greedy earliest-finish dispatch).
         assignment: list[SimulatedDevice] = []
         counters = dict.fromkeys(range(len(devices)), 0)
         for index in range(len(starts)):
@@ -88,8 +91,14 @@ class SplitChunkedModel(ExecutionModel):
         staged: dict[tuple[str, str], str] = {}
 
         for ci, start in enumerate(starts):
-            device = assignment[ci]
             stop = min(start + chunk, total)
+            if self.adaptive is not None:
+                device = self._claim_chunk(devices, pipeline, stop - start)
+                if device is not assignment[ci]:
+                    self.adaptive.record_steal(device)
+            else:
+                device = assignment[ci]
+            cursor = self.ctx.clock.event_count
             scan_alias_of = {}
             for ref in pipeline.scan_refs:
                 key = (ref, device.name)
@@ -131,6 +140,10 @@ class SplitChunkedModel(ExecutionModel):
                     partials[nid].append(ChunkPartial(value, start))
             prev_compute[device.name] = last  # type: ignore[assignment]
             self.chunks_processed += 1
+            if self.adaptive is not None:
+                self.adaptive.observe_chunk(
+                    device, pipeline, stop - start,
+                    self.ctx.clock.events_since(cursor))
 
         self.ctx.clock.barrier(
             [s for d in devices
@@ -163,6 +176,29 @@ class SplitChunkedModel(ExecutionModel):
                     device.delete_memory(alias)
 
     # -- helpers ------------------------------------------------------------
+
+    def _claim_chunk(self, devices: list[SimulatedDevice],
+                     pipeline: Pipeline, rows: int) -> SimulatedDevice:
+        """Shared-morsel-queue dispatch (adaptive runs): the next chunk
+        goes to the device predicted to *finish* it first — current
+        stream availability plus the overlay-corrected chunk estimate.
+        A device running hot (latency fault, contention) predicts late
+        finishes on both terms, so healthy peers pick up the slack.
+        Deterministic: ties break by participant order (fastest first).
+        """
+        clock = self.ctx.clock
+        best = devices[0]
+        best_finish = None
+        for device in devices:
+            ready = max(
+                clock.stream(device.transfer_stream).available_at,
+                clock.stream(device.compute_stream).available_at,
+            )
+            finish = ready + self.adaptive.corrected_chunk_seconds(
+                pipeline, device, rows)
+            if best_finish is None or finish < best_finish:
+                best, best_finish = device, finish
+        return best
 
     def _participants(self) -> list[SimulatedDevice]:
         """All plugged devices, fastest (by streaming rate) first."""

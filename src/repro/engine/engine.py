@@ -68,6 +68,9 @@ class QueryRequest:
     #: Attach a per-node :class:`~repro.observe.QueryProfile` to the
     #: result (EXPLAIN ANALYZE mode).
     analyze: bool = False
+    #: Enable adaptive execution (online calibration, dynamic chunk
+    #: sizing, split-model work stealing); results stay byte-identical.
+    adaptive: bool = False
 
 
 class Engine:
@@ -262,7 +265,8 @@ class Engine:
                 session: QuerySession | None = None,
                 memory_budget: int | None = None,
                 fresh: bool = False, fuse: bool = False,
-                analyze: bool = False) -> QueryResult:
+                analyze: bool = False,
+                adaptive: bool = False) -> QueryResult:
         """Execute one query on the engine's devices.
 
         In engine mode (default) the query runs in a new clock *epoch* on
@@ -284,13 +288,16 @@ class Engine:
             analyze: Attach a per-node
                 :class:`~repro.observe.QueryProfile` to the result
                 (EXPLAIN ANALYZE mode).
+            adaptive: Enable adaptive execution — online cost-model
+                calibration, dynamic chunk sizing and split-model work
+                stealing (:mod:`repro.planner.adaptive`).
         """
         model_cls = self._resolve_model(model)
         if fresh:
             return self._execute_fresh(
                 model_cls, graph, catalog, chunk_size=chunk_size,
                 default_device=default_device, data_scale=data_scale,
-                fuse=fuse, analyze=analyze)
+                fuse=fuse, analyze=analyze, adaptive=adaptive)
 
         auto = session is None
         if auto:
@@ -300,11 +307,13 @@ class Engine:
             model_obj = self._build_model(
                 model_cls, session, graph, catalog, chunk_size=chunk_size,
                 default_device=default_device, data_scale=data_scale,
-                epoch_start=epoch_start, fuse=fuse, analyze=analyze)
+                epoch_start=epoch_start, fuse=fuse, analyze=analyze,
+                adaptive=adaptive)
             rebuild = self._make_rebuild(
                 model_cls, session, graph, catalog,
                 default_device=default_device, data_scale=data_scale,
-                epoch_start=epoch_start, fuse=fuse, analyze=analyze)
+                epoch_start=epoch_start, fuse=fuse, analyze=analyze,
+                adaptive=adaptive)
             self._scheduler.run([(session, model_obj, rebuild)])
             self._record_query(model_obj.name, result=session.result,
                                error=session.error)
@@ -359,13 +368,15 @@ class Engine:
                         default_device=request.default_device,
                         data_scale=request.data_scale,
                         epoch_start=epoch_start, fuse=request.fuse,
-                        analyze=request.analyze)
+                        analyze=request.analyze,
+                        adaptive=request.adaptive)
                     rebuild = self._make_rebuild(
                         model_cls, session, request.graph, request.catalog,
                         default_device=request.default_device,
                         data_scale=request.data_scale,
                         epoch_start=epoch_start, fuse=request.fuse,
-                        analyze=request.analyze)
+                        analyze=request.analyze,
+                        adaptive=request.adaptive)
                     work.append((session, model_obj, rebuild))
                 self._scheduler.run(work)
                 failure: Exception | None = None
@@ -423,12 +434,13 @@ class Engine:
                      catalog: Catalog, *, chunk_size: int,
                      default_device: str | None, data_scale: int,
                      epoch_start: float, fuse: bool = False,
-                     analyze: bool = False) -> ExecutionModel:
+                     analyze: bool = False,
+                     adaptive: bool = False) -> ExecutionModel:
         ctx = self._context(
             graph, catalog, chunk_size=chunk_size,
             default_device=default_device, data_scale=data_scale,
             query=session.query_context(epoch_start=epoch_start),
-            fuse=fuse, analyze=analyze,
+            fuse=fuse, analyze=analyze, adaptive=adaptive,
         )
         return model_cls(ctx)
 
@@ -436,7 +448,7 @@ class Engine:
                       session: QuerySession, graph: PrimitiveGraph,
                       catalog: Catalog, *, default_device: str | None,
                       data_scale: int, epoch_start: float, fuse: bool,
-                      analyze: bool = False):
+                      analyze: bool = False, adaptive: bool = False):
         """The scheduler's recovery callback: a fresh model for the same
         query at a degraded configuration (new chunk size, devices
         excluded after quarantine, or placement spilled to the host).
@@ -474,7 +486,7 @@ class Engine:
                 default_device=default, data_scale=data_scale,
                 devices=survivors,
                 query=session.query_context(epoch_start=epoch_start),
-                fuse=fuse, analyze=analyze,
+                fuse=fuse, analyze=analyze, adaptive=adaptive,
             )
             return model_cls(ctx)
         return rebuild
@@ -483,7 +495,8 @@ class Engine:
                        graph: PrimitiveGraph, catalog: Catalog, *,
                        chunk_size: int, default_device: str | None,
                        data_scale: int, fuse: bool = False,
-                       analyze: bool = False) -> QueryResult:
+                       analyze: bool = False,
+                       adaptive: bool = False) -> QueryResult:
         """Single-shot semantics: reset the timeline and devices, run."""
         self.clock.reset()
         for device in self.devices.values():
@@ -491,7 +504,7 @@ class Engine:
         ctx = self._context(graph, catalog, chunk_size=chunk_size,
                             default_device=default_device,
                             data_scale=data_scale, fuse=fuse,
-                            analyze=analyze)
+                            analyze=analyze, adaptive=adaptive)
         model_obj = model_cls(ctx)
         try:
             result = model_obj.run()

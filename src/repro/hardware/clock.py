@@ -176,6 +176,17 @@ class VirtualClock:
     def events(self) -> list[Event]:
         return list(self._events)
 
+    @property
+    def event_count(self) -> int:
+        """Number of events recorded so far (cheap cursor for callers
+        that want to inspect just the events of one chunk)."""
+        return len(self._events)
+
+    def events_since(self, cursor: int) -> list[Event]:
+        """Events recorded at or after position *cursor* (a value
+        previously read from :attr:`event_count`)."""
+        return self._events[cursor:]
+
     def now(self) -> float:
         """Latest point in time any stream has reached."""
         return max((s.available_at for s in self._streams.values()), default=0.0)

@@ -19,7 +19,7 @@ from repro.errors import SchedulingError
 from repro.hardware import calibration as cal
 from repro.hardware.specs import DeviceKind, DeviceSpec, Sdk
 
-__all__ = ["CostModel", "TransferDirection"]
+__all__ = ["CostModel", "CostOverlay", "TransferDirection"]
 
 
 class TransferDirection:
@@ -28,6 +28,40 @@ class TransferDirection:
     H2D = "h2d"
     D2H = "d2h"
     D2D = "d2d"
+
+
+@dataclass
+class CostOverlay:
+    """Multiplicative runtime correction for one device's cost model.
+
+    The calibrated :class:`CostModel` is immutable; adaptive execution
+    corrects it *non-destructively* by tracking the ratio between
+    observed per-chunk durations and the model's predictions as an
+    exponentially weighted moving average.  ``factor > 1`` means the
+    device is running slower than calibrated (e.g. latency faults,
+    contention); ``factor < 1`` means faster (e.g. residency hits).
+    """
+
+    alpha: float = 0.5
+    factor: float = 1.0
+    samples: int = 0
+
+    #: Observed/predicted ratios outside this band are clamped before
+    #: folding, so one pathological chunk cannot destabilize the EWMA.
+    MIN_RATIO = 1.0 / 16.0
+    MAX_RATIO = 16.0
+
+    def fold(self, observed: float, predicted: float) -> float:
+        """Fold one (observed, predicted) pair and return the new factor."""
+        if observed <= 0.0 or predicted <= 0.0:
+            return self.factor
+        ratio = min(self.MAX_RATIO, max(self.MIN_RATIO, observed / predicted))
+        if self.samples == 0:
+            self.factor = ratio
+        else:
+            self.factor += self.alpha * (ratio - self.factor)
+        self.samples += 1
+        return self.factor
 
 
 @dataclass(frozen=True)

@@ -33,6 +33,7 @@ _GLYPHS = {
     "cache": "r",
     "backoff": "b",
     "recovery": "R",
+    "adaptive": "A",
 }
 
 
@@ -71,6 +72,8 @@ def counters(clock: VirtualClock) -> dict[str, int]:
                        if e.category == "backoff"),
         "recovery_actions": sum(1 for e in clock.events
                                 if e.category == "recovery"),
+        "adaptive_actions": sum(1 for e in clock.events
+                                if e.category == "adaptive"),
     }
 
 

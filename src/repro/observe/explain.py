@@ -120,7 +120,7 @@ def explain(graph: PrimitiveGraph, catalog: Catalog, *,
             devices: dict[str, SimulatedDevice],
             default_device: str | None = None, model: str = "chunked",
             chunk_size: int = _DEFAULT_CHUNK_SIZE, data_scale: int = 1,
-            fuse: bool = False) -> str:
+            fuse: bool = False, adaptive: bool = False) -> str:
     """Render the execution plan for *graph* as an annotated tree.
 
     Args:
@@ -137,6 +137,9 @@ def explain(graph: PrimitiveGraph, catalog: Catalog, *,
         data_scale: Logical rows represented by each physical row.
         fuse: Apply the kernel-fusion pass before explaining, matching
             ``run(..., fuse=True)``.
+        adaptive: Annotate the plan with the adaptive-execution actions
+            ``run(..., adaptive=True)`` would arm (dynamic chunk
+            sizing, split-model work stealing, re-placement).
     """
     if not devices:
         raise ExecutionError("no devices to explain against")
@@ -157,7 +160,8 @@ def explain(graph: PrimitiveGraph, catalog: Catalog, *,
     lines = [
         f"EXPLAIN {graph.name}",
         f"  model={model}  chunk_size={chunk_size}  "
-        f"data_scale={data_scale}  fuse={'on' if fuse else 'off'}",
+        f"data_scale={data_scale}  fuse={'on' if fuse else 'off'}  "
+        f"adaptive={'on' if adaptive else 'off'}",
     ]
     for name in sorted(devices):
         device = devices[name]
@@ -194,6 +198,15 @@ def explain(graph: PrimitiveGraph, catalog: Catalog, *,
             f"  pipeline {pipeline.index}  device={'+'.join(placements)}  "
             f"rows={rows}  chunks={chunks}  "
             f"est={_fmt_seconds(node_est + transfer_est)}")
+        if adaptive and chunks > 1:
+            if model == "split_chunked" and len(devices) > 1:
+                lines.append(
+                    f"    adaptive: work-stealing morsel queue across "
+                    f"{len(devices)} devices + online calibration")
+            else:
+                lines.append(
+                    f"    adaptive: dynamic chunk sizing from "
+                    f"{physical_chunk} physical rows + online calibration")
         for ref in pipeline.scan_refs:
             nbytes = catalog.column(ref).nbytes * data_scale
             lines.append(f"    scan {ref}  ({_fmt_bytes(nbytes)})")

@@ -82,6 +82,18 @@ METRIC_CATALOG: dict[str, tuple[str, tuple[str, ...], str]] = {
     "adamant_residency_resident_bytes": (
         "gauge", ("device",),
         "Bytes held by each device's residency cache."),
+    "adamant_adaptive_resize_total": (
+        "counter", ("direction",),
+        "Dynamic chunk-size changes applied (grow / shrink)."),
+    "adamant_adaptive_steals_total": (
+        "counter", ("device",),
+        "Split-model chunks dispatched away from the static split."),
+    "adamant_adaptive_replacements_total": (
+        "counter", (),
+        "Pending pipelines re-placed after calibrator divergence."),
+    "adamant_adaptive_overlay_factor": (
+        "gauge", ("device",),
+        "Observed/calibrated cost ratio per device (EWMA)."),
 }
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")

@@ -66,9 +66,16 @@ def estimate_pipeline_seconds(graph: PrimitiveGraph, pipeline: Pipeline,
     for nid in pipeline.node_ids:
         node = graph.nodes[nid]
         n = max(1, int(depth_rows))
-        seconds += cost.launch_seconds(2)
-        seconds += cost.kernel_seconds(node.defn.cost_key, n,
-                                       **node.cost_params)
+        cost_params = dict(node.cost_params)
+        fused_steps = cost_params.pop("fused_steps", None)
+        fused_num_args = cost_params.pop("fused_num_args", None)
+        if fused_steps is not None:
+            seconds += cost.launch_seconds(int(fused_num_args or 2))
+            seconds += cost.fused_kernel_seconds(fused_steps, n)
+        else:
+            seconds += cost.launch_seconds(2)
+            seconds += cost.kernel_seconds(node.defn.cost_key, n,
+                                           **cost_params)
         if node.primitive in ("materialize", "materialize_position",
                               "hash_probe", "filter_position"):
             depth_rows *= _DEFAULT_SELECTIVITY
@@ -78,6 +85,8 @@ def estimate_pipeline_seconds(graph: PrimitiveGraph, pipeline: Pipeline,
 def annotate_devices(graph: PrimitiveGraph, catalog: Catalog,
                      devices: dict[str, SimulatedDevice], *,
                      data_scale: int = 1,
+                     overlay: dict[str, float] | None = None,
+                     from_index: int = 0,
                      ) -> list[PlacementReport]:
     """Annotate every node of *graph* with the cheapest device per
     pipeline (in place) and return the per-pipeline decisions.
@@ -85,6 +94,14 @@ def annotate_devices(graph: PrimitiveGraph, catalog: Catalog,
     Cross-pipeline inputs add a routing charge when the producing
     pipeline landed on a different device, so small build sides tend to
     stay where their consumers are.
+
+    Args:
+        overlay: Optional per-device slowdown factors (observed /
+            calibrated) from the online calibrator; each device's
+            estimate is scaled by its factor before comparison.
+        from_index: First pipeline index to (re)place.  Earlier
+            pipelines keep their existing annotations — they have
+            already run — but still seed the routing-charge table.
     """
     if not devices:
         raise PlanError("no devices to place onto")
@@ -94,11 +111,17 @@ def annotate_devices(graph: PrimitiveGraph, catalog: Catalog,
     reports: list[PlacementReport] = []
 
     for pipeline in pipelines:
+        if pipeline.index < from_index:
+            for nid in pipeline.node_ids:
+                placed[nid] = graph.nodes[nid].device or ""
+            continue
         estimates: dict[str, float] = {}
         for name, device in devices.items():
             seconds = estimate_pipeline_seconds(
                 graph, pipeline, catalog, device, data_scale=data_scale,
             )
+            if overlay:
+                seconds *= overlay.get(name, 1.0)
             # Routing charge for external hash tables built elsewhere.
             for ext in pipeline.external_inputs:
                 if placed.get(ext) not in (None, name):

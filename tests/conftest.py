@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import functools
+
 import pytest
 
 from repro.core.executor import AdamantExecutor
@@ -12,6 +14,18 @@ from repro.hardware import (
     VirtualClock,
 )
 from repro.tpch import generate
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="Rewrite tests/golden/*.txt snapshots from current output "
+             "instead of asserting against them.")
+
+
+@pytest.fixture()
+def update_golden(request):
+    return request.config.getoption("--update-golden")
 
 
 @pytest.fixture(scope="session")
@@ -53,10 +67,27 @@ def cpu(clock):
 
 
 def make_executor(driver=CudaDevice, spec=GPU_RTX_2080_TI, *,
-                  memory_limit=None, name="dev0"):
-    """One-device executor (helper, not a fixture, so tests can vary it)."""
+                  memory_limit=None, name="dev0", model=None,
+                  extra_devices=()):
+    """Executor factory (helper, not a fixture, so tests can vary it).
+
+    The single shared spelling of "give me an executor" for the whole
+    suite — per-file copies should call this instead.
+
+    Args:
+        driver/spec/name/memory_limit: The first plugged device.
+        model: When given, bind this execution-model name as the
+            default for ``run()`` so parametrized tests need not thread
+            it through every call site.
+        extra_devices: Additional ``(name, driver, spec)`` triples to
+            plug (heterogeneous setups).
+    """
     executor = AdamantExecutor()
     executor.plug_device(name, driver, spec, memory_limit=memory_limit)
+    for extra_name, extra_driver, extra_spec in extra_devices:
+        executor.plug_device(extra_name, extra_driver, extra_spec)
+    if model is not None:
+        executor.run = functools.partial(executor.run, model=model)
     return executor
 
 

@@ -19,7 +19,7 @@ SNIPPET_DOCS = sorted((ROOT / "docs").glob("*.md")) + [ROOT / "README.md"]
 #: Documents that legitimately contain no python blocks today.  A file
 #: may leave this set (by gaining a snippet) but the walker still visits
 #: it, so nothing is ever silently skipped.
-_NO_SNIPPETS_OK = {"api.md", "architecture.md", "calibration.md"}
+_NO_SNIPPETS_OK = {"api.md", "calibration.md"}
 
 _PYTHON_BLOCK = re.compile(r"```python\n(.*?)```", re.S)
 

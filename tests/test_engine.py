@@ -16,6 +16,7 @@ from repro.errors import (
 )
 from repro.hardware import CPU_I7_8700, GPU_RTX_2080_TI
 from repro.tpch.queries import q3, q4, q6
+from tests.conftest import make_executor
 
 CHUNK = 2048
 
@@ -65,8 +66,7 @@ class TestFacadeDeterminism:
         plain = gpu_executor.run(q6.build(), tiny_catalog, chunk_size=CHUNK)
         assert gpu_executor.devices["dev0"].data_scale == 1
         assert plain.stats.makespan != scaled.stats.makespan
-        reference = AdamantExecutor()
-        reference.plug_device("dev0", CudaDevice, GPU_RTX_2080_TI)
+        reference = make_executor()
         baseline = reference.run(q6.build(), tiny_catalog, chunk_size=CHUNK)
         assert plain.stats.makespan == baseline.stats.makespan
 
@@ -80,8 +80,7 @@ class TestFacadeDeterminism:
         # Re-plugging the same name (even a different driver) starts clean.
         executor.plug_device("dev0", OpenMPDevice, CPU_I7_8700)
         replug = executor.run(q6.build(), tiny_catalog, chunk_size=CHUNK)
-        reference = AdamantExecutor()
-        reference.plug_device("dev0", OpenMPDevice, CPU_I7_8700)
+        reference = make_executor(OpenMPDevice, CPU_I7_8700)
         baseline = reference.run(q6.build(), tiny_catalog, chunk_size=CHUNK)
         assert replug.stats.makespan == baseline.stats.makespan
 
@@ -92,8 +91,7 @@ class TestConcurrentCorrectness:
     @pytest.mark.parametrize("model", sorted(MODELS))
     def test_concurrent_matches_sequential(self, tiny_catalog, model):
         sequential = []
-        executor = AdamantExecutor()
-        executor.plug_device("dev0", CudaDevice, GPU_RTX_2080_TI)
+        executor = make_executor()
         for _, graph in three_queries(tiny_catalog):
             sequential.append(executor.run(graph, tiny_catalog,
                                            model=model, chunk_size=CHUNK))
@@ -224,8 +222,7 @@ class TestSessionsAndIsolation:
         )
         assert isinstance(results[0], QueryBudgetError)
         healthy = results[1]
-        reference = AdamantExecutor()
-        reference.plug_device("dev0", CudaDevice, GPU_RTX_2080_TI)
+        reference = make_executor()
         baseline = reference.run(q6.build(), tiny_catalog, chunk_size=CHUNK)
         assert q6.finalize(healthy, tiny_catalog) == \
             q6.finalize(baseline, tiny_catalog)

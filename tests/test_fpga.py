@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.executor import AdamantExecutor
 from repro.devices import CudaDevice, FpgaDevice, OpenMPDevice
 from repro.errors import DeviceNotInitializedError
 from repro.hardware import (
@@ -10,7 +9,6 @@ from repro.hardware import (
     FPGA_ALVEO_U250,
     GPU_RTX_2080_TI,
     Sdk,
-    VirtualClock,
 )
 from repro.hardware.costmodel import CostModel
 from repro.task import KernelContainer
@@ -95,10 +93,10 @@ class TestFpgaIntegration:
         assert calls
 
     def test_heterogeneous_cpu_gpu_fpga_split(self, small_catalog):
-        executor = AdamantExecutor()
-        executor.plug_device("gpu", CudaDevice, GPU_RTX_2080_TI)
-        executor.plug_device("cpu", OpenMPDevice, CPU_I7_8700)
-        executor.plug_device("fpga", FpgaDevice, FPGA_ALVEO_U250)
+        executor = make_executor(
+            CudaDevice, GPU_RTX_2080_TI, name="gpu",
+            extra_devices=[("cpu", OpenMPDevice, CPU_I7_8700),
+                           ("fpga", FpgaDevice, FPGA_ALVEO_U250)])
         result = executor.run(q6.build(), small_catalog,
                               model="split_chunked", chunk_size=1024)
         assert q6.finalize(result, small_catalog) == \
@@ -111,9 +109,9 @@ class TestFpgaIntegration:
         """For a pure streaming query on CPU+FPGA, the annotator picks
         the FPGA (line-rate primitives beat the CPU)."""
         from repro.planner import annotate_devices
-        executor = AdamantExecutor()
-        executor.plug_device("cpu", OpenMPDevice, CPU_I7_8700)
-        executor.plug_device("fpga", FpgaDevice, FPGA_ALVEO_U250)
+        executor = make_executor(
+            OpenMPDevice, CPU_I7_8700, name="cpu",
+            extra_devices=[("fpga", FpgaDevice, FPGA_ALVEO_U250)])
         graph = q6.build()
         reports = annotate_devices(graph, small_catalog, executor.devices,
                                    data_scale=1024)

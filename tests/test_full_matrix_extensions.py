@@ -9,7 +9,6 @@ query/model pairing anywhere in the repo goes unvalidated.
 
 import pytest
 
-from repro.core.executor import AdamantExecutor
 from repro.devices import CudaDevice, FpgaDevice, OpenMPDevice
 from repro.hardware import (
     CPU_XEON_5220R,
@@ -56,10 +55,10 @@ class TestExtensionModels:
 
     def test_three_device_split(self, small_catalog, qname):
         module, graph = build_graph(qname, small_catalog)
-        executor = AdamantExecutor()
-        executor.plug_device("gpu", CudaDevice, GPU_RTX_2080_TI)
-        executor.plug_device("cpu", OpenMPDevice, CPU_XEON_5220R)
-        executor.plug_device("fpga", FpgaDevice, FPGA_ALVEO_U250)
+        executor = make_executor(
+            CudaDevice, GPU_RTX_2080_TI, name="gpu",
+            extra_devices=[("cpu", OpenMPDevice, CPU_XEON_5220R),
+                           ("fpga", FpgaDevice, FPGA_ALVEO_U250)])
         result = executor.run(graph, small_catalog, model="split_chunked",
                               chunk_size=2048)
         check(module, result, small_catalog, oracle(qname, small_catalog))
@@ -70,9 +69,9 @@ class TestQ18Extensions:
     # that produces rows so the split/zero-copy paths do real work).
     @pytest.mark.parametrize("model", ["zero_copy", "split_chunked"])
     def test_q18(self, small_catalog, model):
-        executor = AdamantExecutor()
-        executor.plug_device("gpu", CudaDevice, GPU_RTX_2080_TI)
-        executor.plug_device("cpu", OpenMPDevice, CPU_XEON_5220R)
+        executor = make_executor(
+            CudaDevice, GPU_RTX_2080_TI, name="gpu",
+            extra_devices=[("cpu", OpenMPDevice, CPU_XEON_5220R)])
         result = executor.run(q18.build(quantity=220), small_catalog,
                               model=model, chunk_size=2048)
         assert q18.finalize(result, small_catalog) == \

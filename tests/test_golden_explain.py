@@ -1,0 +1,79 @@
+"""Golden-snapshot tests: EXPLAIN output is byte-for-byte stable.
+
+Each scenario renders EXPLAIN for a fixed (query, devices, options)
+tuple and compares against a checked-in snapshot under
+``tests/golden/``.  Run ``pytest --update-golden`` to rewrite the
+snapshots after an intentional rendering change — the diff then shows
+up in review instead of churning silently.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.devices import OpenMPDevice
+from repro.hardware import CPU_I7_8700
+from repro.observe import explain
+from repro.tpch.queries import q3, q4, q6
+from tests.conftest import make_executor
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _single_device():
+    return make_executor(name="gpu0")
+
+
+def _two_device():
+    return make_executor(name="gpu0", extra_devices=[
+        ("cpu0", OpenMPDevice, CPU_I7_8700)])
+
+
+# name -> (graph builder, executor factory, explain kwargs)
+SCENARIOS = {
+    "q3": (lambda catalog: q3.build(catalog), _single_device,
+           dict(model="chunked", chunk_size=1024)),
+    "q4": (lambda catalog: q4.build(), _single_device,
+           dict(model="chunked", chunk_size=1024)),
+    "q6": (lambda catalog: q6.build(), _single_device,
+           dict(model="chunked", chunk_size=1024)),
+    "q6_fused": (lambda catalog: q6.build(), _single_device,
+                 dict(model="chunked", chunk_size=1024, fuse=True)),
+    "q6_adaptive": (lambda catalog: q6.build(), _two_device,
+                    dict(model="split_chunked", chunk_size=1024,
+                         adaptive=True)),
+    "q3_adaptive": (lambda catalog: q3.build(catalog), _single_device,
+                    dict(model="chunked", chunk_size=1024, adaptive=True)),
+}
+
+
+def render(name: str, tiny_catalog) -> str:
+    build, factory, kwargs = SCENARIOS[name]
+    executor = factory()
+    return explain(build(tiny_catalog), tiny_catalog,
+                   devices=executor.devices,
+                   default_device=executor.default_device, **kwargs)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_explain_matches_golden(name, tiny_catalog, update_golden):
+    text = render(name, tiny_catalog) + "\n"
+    path = GOLDEN_DIR / f"{name}.txt"
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text)
+        pytest.skip(f"golden snapshot {path.name} updated")
+    assert path.exists(), (
+        f"missing golden snapshot {path}; run pytest --update-golden")
+    assert text == path.read_text(), (
+        f"EXPLAIN for {name} drifted from {path.name}; if intentional, "
+        f"run pytest --update-golden and commit the diff")
+
+
+def test_golden_files_have_no_strays():
+    """Every checked-in snapshot corresponds to a scenario."""
+    known = {f"{name}.txt" for name in SCENARIOS}
+    present = {p.name for p in GOLDEN_DIR.glob("*.txt")}
+    assert present <= known, present - known

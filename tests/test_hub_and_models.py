@@ -285,9 +285,9 @@ class TestModelBehaviour:
     def test_multi_device_pipeline_split(self, tiny_catalog):
         """Q4's two pipelines annotated onto different devices: the hash
         table is routed from the CPU to the GPU at the boundary."""
-        executor = AdamantExecutor()
-        executor.plug_device("gpu", CudaDevice, GPU_RTX_2080_TI)
-        executor.plug_device("cpu", OpenMPDevice, CPU_I7_8700)
+        executor = make_executor(
+            CudaDevice, GPU_RTX_2080_TI, name="gpu",
+            extra_devices=[("cpu", OpenMPDevice, CPU_I7_8700)])
         graph = q4.build()
         for nid in ("lateness", "f_late", "m_lkey", "build_late"):
             graph.nodes[nid].device = "cpu"
@@ -300,9 +300,9 @@ class TestModelBehaviour:
         assert got == reference.q4(tiny_catalog)
 
     def test_mixed_devices_within_pipeline_rejected(self, tiny_catalog):
-        executor = AdamantExecutor()
-        executor.plug_device("gpu", CudaDevice, GPU_RTX_2080_TI)
-        executor.plug_device("cpu", OpenMPDevice, CPU_I7_8700)
+        executor = make_executor(
+            CudaDevice, GPU_RTX_2080_TI, name="gpu",
+            extra_devices=[("cpu", OpenMPDevice, CPU_I7_8700)])
         graph = q6.build()
         graph.nodes["f_ship"].device = "cpu"  # rest default to gpu
         with pytest.raises(ExecutionError):

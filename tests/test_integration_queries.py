@@ -54,6 +54,65 @@ class TestQueryMatrix:
             reference.q6(small_catalog)
 
 
+ALL_MODELS = MODELS + ["zero_copy", "split_chunked"]
+
+
+def _blob(value):
+    """Canonical byte-level form of a query output for exact comparison."""
+    import numpy as np
+    if isinstance(value, np.ndarray):
+        return ("nd", value.dtype.str, value.shape, value.tobytes())
+    if isinstance(value, dict):
+        return ("map", tuple(sorted((k, _blob(v))
+                                    for k, v in value.items())))
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(_blob(v) for v in value))
+    if hasattr(value, "__dict__"):
+        return ("obj", type(value).__name__, tuple(
+            sorted((k, _blob(v)) for k, v in vars(value).items())))
+    return ("lit", repr(value))
+
+
+class TestAdaptiveByteIdentical:
+    """adaptive=True may only change *when* things run, never results:
+    every query in this module, every model, compared at byte level."""
+
+    QUERIES = {
+        "q1": (lambda c: q1.build(), q1),
+        "q3": (lambda c: q3.build(c), q3),
+        "q4": (lambda c: q4.build(), q4),
+        "q6": (lambda c: q6.build(), q6),
+    }
+
+    def _hetero(self):
+        return make_executor(name="gpu0", extra_devices=[
+            ("cpu0", OpenMPDevice, CPU_I7_8700)])
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    @pytest.mark.parametrize("qname", sorted(QUERIES))
+    def test_outputs_byte_identical(self, small_catalog, qname, model):
+        build, module = self.QUERIES[qname]
+        static = self._hetero().run(build(small_catalog), small_catalog,
+                                    model=model, chunk_size=CHUNK)
+        adaptive = self._hetero().run(build(small_catalog), small_catalog,
+                                      model=model, chunk_size=CHUNK,
+                                      adaptive=True)
+        assert _blob(adaptive.outputs) == _blob(static.outputs)
+        assert module.finalize(adaptive, small_catalog) == \
+            getattr(reference, qname)(small_catalog)
+
+    def test_adaptive_never_slower_than_5pct(self, small_catalog):
+        """The adaptive machinery must not tax the uniform case."""
+        for model in ("chunked", "split_chunked"):
+            static = self._hetero().run(q6.build(), small_catalog,
+                                        model=model, chunk_size=2048)
+            adaptive = self._hetero().run(q6.build(), small_catalog,
+                                          model=model, chunk_size=2048,
+                                          adaptive=True)
+            assert adaptive.stats.makespan <= \
+                static.stats.makespan * 1.05, model
+
+
 class TestChunkSizeInvariance:
     """Results are identical whatever the chunk size (Section IV-B)."""
 

@@ -19,7 +19,6 @@ import re
 import pytest
 
 from repro.cli import main
-from repro.core.executor import AdamantExecutor
 from repro.devices import CudaDevice, OpenMPDevice
 from repro.engine import Engine
 from repro.faults import FaultPlan
@@ -32,6 +31,7 @@ from repro.observe import (
 )
 from repro.tpch import generate
 from repro.tpch.queries import q3, q4, q6
+from tests.conftest import make_executor
 
 PAPER_MODELS = ("oaat", "chunked", "pipelined", "four_phase_pipelined")
 
@@ -42,9 +42,7 @@ def _graph(name, catalog):
 
 
 def _gpu_executor():
-    executor = AdamantExecutor()
-    executor.plug_device("gpu0", CudaDevice, GPU_RTX_2080_TI)
-    return executor
+    return make_executor(name="gpu0")
 
 
 # ---------------------------------------------------------------------------

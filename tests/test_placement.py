@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.executor import AdamantExecutor
 from repro.devices import CudaDevice, OpenMPDevice
 from repro.errors import PlanError
 from repro.hardware import CPU_I7_8700, GPU_RTX_2080_TI
@@ -10,13 +9,12 @@ from repro.planner import annotate_devices, estimate_pipeline_seconds
 from repro.core.pipelines import split_pipelines
 from repro.tpch import reference
 from repro.tpch.queries import q3, q4, q6
+from tests.conftest import make_executor
 
 
 def two_device_executor():
-    executor = AdamantExecutor()
-    executor.plug_device("gpu", CudaDevice, GPU_RTX_2080_TI)
-    executor.plug_device("cpu", OpenMPDevice, CPU_I7_8700)
-    return executor
+    return make_executor(CudaDevice, GPU_RTX_2080_TI, name="gpu",
+                         extra_devices=[("cpu", OpenMPDevice, CPU_I7_8700)])
 
 
 class TestEstimates:

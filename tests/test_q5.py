@@ -85,12 +85,11 @@ class TestQ5Variants:
         assert 0 < len(rows) <= 5
 
     def test_split_model(self, small_catalog):
-        from repro.core.executor import AdamantExecutor
         from repro.devices import CudaDevice
         from repro.hardware import CPU_XEON_5220R
-        executor = AdamantExecutor()
-        executor.plug_device("gpu", CudaDevice, GPU_RTX_2080_TI)
-        executor.plug_device("cpu", OpenMPDevice, CPU_XEON_5220R)
+        executor = make_executor(
+            CudaDevice, GPU_RTX_2080_TI, name="gpu",
+            extra_devices=[("cpu", OpenMPDevice, CPU_XEON_5220R)])
         result = executor.run(q5.build(small_catalog), small_catalog,
                               model="split_chunked", chunk_size=2048)
         assert q5.finalize(result, small_catalog) == \

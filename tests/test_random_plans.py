@@ -2,9 +2,11 @@
 
 Hypothesis generates small logical plans (filter chains, derived columns,
 optional semi-join, scalar or grouped aggregation) over a fixed synthetic
-database; each translated plan must produce identical results under
-OAAT, chunked and 4-phase execution — and a plain-numpy evaluation of
-the same logical plan must agree.
+database; each translated plan must produce identical results under all
+execution models × fusion on/off × adaptive on/off — and a plain-numpy
+evaluation of the same logical plan must agree.  Chunk sizes are drawn
+to be non-divisors of the table sizes so every run exercises a ragged
+tail chunk.
 """
 
 from __future__ import annotations
@@ -139,10 +141,12 @@ def numpy_eval(plan):
     return out
 
 
-def run_plan(plan, model: str, chunk: int):
+def run_plan(plan, model: str, chunk: int, *, fuse: bool = False,
+             adaptive: bool = False):
     graph = translate(plan, catalog=CATALOG)
     executor = make_executor()
-    result = executor.run(graph, CATALOG, model=model, chunk_size=chunk)
+    result = executor.run(graph, CATALOG, model=model, chunk_size=chunk,
+                          fuse=fuse, adaptive=adaptive)
     if isinstance(plan, ScalarAggregate):
         return int(result.output("result")[0])
     table = result.output("agg")
@@ -151,11 +155,33 @@ def run_plan(plan, model: str, chunk: int):
             for k, v in zip(table.keys, table.aggregates[fn])}
 
 
-@settings(max_examples=40, deadline=None)
-@given(plan=logical_plans(), chunk=st.sampled_from([32, 96, 256]),
-       model=st.sampled_from(["chunked", "four_phase_pipelined",
-                              "zero_copy"]))
-def test_random_plan_all_models_match_numpy(plan, chunk, model):
+#: Every execution model the runtime ships; ``oaat`` is the per-example
+#: baseline inside the test, so the strategy draws from the other six.
+ALL_MODELS = ["chunked", "pipelined", "four_phase_chunked",
+              "four_phase_pipelined", "zero_copy", "split_chunked"]
+
+#: None of these divide N_FACT=463 (prime) or N_DIM=57, so every chunked
+#: run ends on a ragged tail chunk.
+CHUNKS = [32, 96, 160, 288]
+
+
+@settings(max_examples=60, deadline=None)
+@given(plan=logical_plans(), chunk=st.sampled_from(CHUNKS),
+       model=st.sampled_from(ALL_MODELS), fuse=st.booleans(),
+       adaptive=st.booleans())
+def test_random_plan_all_models_match_numpy(plan, chunk, model, fuse,
+                                            adaptive):
     expected = numpy_eval(plan)
     assert run_plan(plan, "oaat", 32) == expected
-    assert run_plan(plan, model, chunk) == expected
+    assert run_plan(plan, model, chunk, fuse=fuse,
+                    adaptive=adaptive) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(plan=logical_plans(), chunk=st.sampled_from(CHUNKS),
+       model=st.sampled_from(ALL_MODELS), fuse=st.booleans())
+def test_adaptive_matches_static_exactly(plan, chunk, model, fuse):
+    """Adaptive execution is an optimization, never a semantics change."""
+    static = run_plan(plan, model, chunk, fuse=fuse, adaptive=False)
+    adaptive = run_plan(plan, model, chunk, fuse=fuse, adaptive=True)
+    assert adaptive == static

@@ -1,0 +1,166 @@
+"""Property-based tests for :class:`ResidencyCache` invariants.
+
+Hypothesis drives random operation sequences (absorb, lookup/pin,
+release, pressure eviction, catalog-version bumps) against a cache on a
+memory-capped device and checks the invariants the engine relies on:
+
+* pin bookkeeping never goes negative — an entry's pin set only ever
+  holds query ids that looked it up and have not been released;
+* pinned entries survive pressure eviction (``evict_bytes`` may only
+  drop unpinned entries);
+* a catalog-version bump invalidates: a stale entry is never served.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import CudaDevice
+from repro.devices.residency import ResidencyCache
+from repro.hardware import GPU_RTX_2080_TI, VirtualClock
+from repro.storage import Catalog, Column, Table
+
+ROWS = 256
+COLUMNS = ["t.c0", "t.c1", "t.c2", "t.c3"]
+QUERIES = ["qa", "qb", "qc"]
+
+#: Fits two complete columns plus working headroom, so absorbing a third
+#: forces real eviction pressure (each column is ROWS * 8 bytes and the
+#: cache may claim at most half the device).
+MEMORY_LIMIT = ROWS * 8 * 5
+
+
+def build_catalog() -> Catalog:
+    rng = np.random.default_rng(99)
+    catalog = Catalog()
+    catalog.add(Table("t", [
+        Column(name.split(".")[1], rng.integers(0, 100, ROWS).astype(np.int64))
+        for name in COLUMNS
+    ]))
+    return catalog
+
+
+def make_cache() -> tuple[ResidencyCache, CudaDevice]:
+    clock = VirtualClock()
+    device = CudaDevice("g", GPU_RTX_2080_TI, clock,
+                        memory_limit=MEMORY_LIMIT)
+    device.initialize()
+    cache = ResidencyCache(device)
+    device.residency = cache
+    return cache, device
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("absorb"), st.sampled_from(COLUMNS),
+                  st.sampled_from(QUERIES)),
+        st.tuples(st.just("lookup"), st.sampled_from(COLUMNS),
+                  st.sampled_from(QUERIES)),
+        st.tuples(st.just("release"), st.just(""),
+                  st.sampled_from(QUERIES)),
+        st.tuples(st.just("evict"), st.just(""), st.just("")),
+        st.tuples(st.just("bump"), st.just(""), st.just("")),
+    ),
+    min_size=1, max_size=40,
+)
+
+
+def absorb_column(cache: ResidencyCache, catalog: Catalog, ref: str,
+                  query_id: str, *, chunk: int = 96) -> None:
+    """Stream *ref* front to back in ragged chunks, as load_data would."""
+    payload = catalog.column(ref).values
+    for start in range(0, ROWS, chunk):
+        cache.absorb(ref, catalog, query_id, start=start,
+                     payload=payload[start:start + chunk], total_rows=ROWS)
+
+
+def check_invariants(cache: ResidencyCache, live_pins: dict[str, set[str]]):
+    for ref, entry in cache._entries.items():
+        assert entry.pins <= live_pins.get(ref, set()) | set(QUERIES)
+        # Pin sets are sets of query ids — membership is 0/1, and every
+        # pinned id must have looked the entry up and not released yet.
+        assert entry.pins == live_pins.get(ref, set()), ref
+        assert entry.coverage >= 0
+        assert entry.coverage <= entry.rows
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=operations)
+def test_pin_bookkeeping_never_negative(ops):
+    catalog = build_catalog()
+    cache, device = make_cache()
+    live_pins: dict[str, set[str]] = {}
+    stale: set[str] = set()
+    for op, ref, query in ops:
+        if op == "absorb":
+            # Absorbing over a stale entry drops it — pins included —
+            # and admits a fresh, unpinned one at the new version.
+            if ref in stale:
+                live_pins.pop(ref, None)
+                stale.discard(ref)
+            absorb_column(cache, catalog, ref, query)
+        elif op == "lookup":
+            hit = cache.lookup(ref, catalog, query)
+            if hit is not None:
+                live_pins.setdefault(ref, set()).add(query)
+        elif op == "release":
+            cache.release_query(query)
+            for pins in live_pins.values():
+                pins.discard(query)
+        elif op == "evict":
+            cache.evict_bytes(cache.max_bytes)
+            for ref_ in list(live_pins):
+                if ref_ not in cache._entries:
+                    live_pins.pop(ref_)
+        elif op == "bump":
+            catalog.version += 1
+            stale = set(cache._entries)
+        # Dropped/stale entries shed their pin bookkeeping model too.
+        for ref_ in list(live_pins):
+            if ref_ not in cache._entries:
+                live_pins.pop(ref_)
+        check_invariants(cache, live_pins)
+    # Releasing every query leaves nothing pinned.
+    for query in QUERIES:
+        cache.release_query(query)
+    assert all(not e.pins for e in cache._entries.values())
+
+
+@settings(max_examples=40, deadline=None)
+@given(pinned=st.sampled_from(COLUMNS),
+       others=st.lists(st.sampled_from(COLUMNS), min_size=1, max_size=4))
+def test_pinned_entries_survive_pressure_eviction(pinned, others):
+    catalog = build_catalog()
+    cache, device = make_cache()
+    absorb_column(cache, catalog, pinned, "qa")
+    assert cache.lookup(pinned, catalog, "qa") is not None  # pins it
+    for ref in others:
+        absorb_column(cache, catalog, ref, "qb")
+    # Maximal pressure: ask the cache to shed everything it can.
+    cache.evict_bytes(cache.max_bytes)
+    assert pinned in cache._entries
+    assert cache.lookup(pinned, catalog, "qa") is not None
+    # After release the same entry becomes evictable.
+    cache.release_query("qa")
+    cache.evict_bytes(cache.max_bytes)
+    assert pinned not in cache._entries
+
+
+@settings(max_examples=40, deadline=None)
+@given(ref=st.sampled_from(COLUMNS), bumps=st.integers(1, 3))
+def test_catalog_version_bump_invalidates(ref, bumps):
+    catalog = build_catalog()
+    cache, device = make_cache()
+    absorb_column(cache, catalog, ref, "qa")
+    assert cache.lookup(ref, catalog, "qa") is not None
+    before = cache.invalidations
+    for _ in range(bumps):
+        catalog.version += 1
+    assert cache.lookup(ref, catalog, "qb") is None
+    assert cache.invalidations == before + 1
+    # Re-absorbing at the new version makes it hit-eligible again.
+    cache.release_query("qa")
+    absorb_column(cache, catalog, ref, "qc")
+    assert cache.lookup(ref, catalog, "qc") is not None

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.executor import AdamantExecutor
 from repro.devices import CudaDevice, OpenCLDevice, OpenMPDevice
 from repro.hardware import (
     CPU_I7_8700,
@@ -13,13 +12,12 @@ from repro.hardware import (
 from repro.tpch import reference
 from repro.tpch.queries import q1, q1_sorted, q3, q4, q6, q12, q14
 from repro.errors import ExecutionError
+from tests.conftest import make_executor
 
 
 def hetero_executor(cpu_spec=CPU_XEON_5220R):
-    executor = AdamantExecutor()
-    executor.plug_device("gpu", CudaDevice, GPU_RTX_2080_TI)
-    executor.plug_device("cpu", OpenMPDevice, cpu_spec)
-    return executor
+    return make_executor(CudaDevice, GPU_RTX_2080_TI, name="gpu",
+                         extra_devices=[("cpu", OpenMPDevice, cpu_spec)])
 
 
 class TestCorrectness:
@@ -40,8 +38,7 @@ class TestCorrectness:
             assert got == oracle
 
     def test_single_device_degenerates_to_chunked(self, small_catalog):
-        executor = AdamantExecutor()
-        executor.plug_device("gpu", CudaDevice, GPU_RTX_2080_TI)
+        executor = make_executor(CudaDevice, GPU_RTX_2080_TI, name="gpu")
         result = executor.run(q6.build(), small_catalog,
                               model="split_chunked", chunk_size=2048)
         assert q6.finalize(result, small_catalog) == \
@@ -103,8 +100,7 @@ class TestScheduling:
         split = executor.run(q6.build(), small_catalog,
                              model="split_chunked", chunk_size=2**20,
                              data_scale=1024)
-        solo = AdamantExecutor()
-        solo.plug_device("gpu", CudaDevice, GPU_RTX_2080_TI)
+        solo = make_executor(CudaDevice, GPU_RTX_2080_TI, name="gpu")
         four_phase = solo.run(q6.build(), small_catalog,
                               model="four_phase_chunked", chunk_size=2**20,
                               data_scale=1024)
