@@ -114,8 +114,16 @@ def _build_parser() -> argparse.ArgumentParser:
     concurrent.add_argument("--driver", choices=sorted(DRIVERS),
                             default="cuda")
     concurrent.add_argument("--spec", choices=sorted(SPECS), default=None)
-    concurrent.add_argument("--model", choices=sorted(MODELS),
-                            default="chunked")
+    concurrent.add_argument("--model",
+                            choices=[*sorted(MODELS), "auto"],
+                            default=None,
+                            help="execution model (default chunked); "
+                                 "'auto' asks the cost-based optimizer")
+    concurrent.add_argument("--optimize", action="store_true",
+                            help="let the cost-based optimizer pick "
+                                 "model, placement, fusion and chunk "
+                                 "size (same as --model auto; conflicts "
+                                 "with an explicit --model)")
     concurrent.add_argument("--chunk-size", type=int, default=2048)
     concurrent.add_argument("--data-scale", type=int, default=1)
     concurrent.add_argument("--memory-limit", type=int, default=None)
@@ -163,6 +171,12 @@ def _build_parser() -> argparse.ArgumentParser:
     explain_cmd.add_argument("--adaptive", action="store_true",
                              help="annotate the plan with adaptive-"
                                   "execution actions")
+    explain_cmd.add_argument("--plans", type=int, default=None,
+                             metavar="K",
+                             help="EXPLAIN PLANS mode: render the "
+                                  "optimizer's top-K ranked candidates "
+                                  "with cost breakdowns instead of the "
+                                  "single-plan tree (K >= 1)")
 
     for name, help_text in (("run", "run one query under one model"),
                             ("compare", "run one query under all models")):
@@ -188,8 +202,20 @@ def _build_parser() -> argparse.ArgumentParser:
                               "calibration, dynamic chunk sizing, work "
                               "stealing); results stay byte-identical")
         if name == "run":
-            cmd.add_argument("--model", choices=sorted(MODELS),
-                             default="chunked")
+            cmd.add_argument("--model",
+                             choices=[*sorted(MODELS), "auto"],
+                             default=None,
+                             help="execution model (default chunked); "
+                                  "'auto' asks the cost-based optimizer")
+            cmd.add_argument("--optimize", action="store_true",
+                             help="let the cost-based optimizer pick "
+                                  "model, placement, fusion and chunk "
+                                  "size (same as --model auto; conflicts "
+                                  "with an explicit --model)")
+            cmd.add_argument("--overlay-path", default=None, metavar="PATH",
+                             help="JSON file for persisted cost-overlay "
+                                  "calibration; optimizer runs load it "
+                                  "and fold their observations back in")
             cmd.add_argument("--faults", default=None, metavar="SPEC",
                              help="inject faults and run with recovery "
                                   "enabled (engine mode), e.g. "
@@ -210,10 +236,29 @@ def _make_executor(args) -> AdamantExecutor:
     driver, kind = DRIVERS[args.driver]
     spec = SPECS[args.spec] if args.spec else (
         GPU_RTX_2080_TI if kind == "GPU" else CPU_I7_8700)
-    executor = AdamantExecutor()
+    executor = AdamantExecutor(
+        overlay_path=getattr(args, "overlay_path", None))
     executor.plug_device("dev0", driver, spec,
                          memory_limit=args.memory_limit)
     return executor
+
+
+def _resolve_model_arg(args) -> str | None:
+    """The effective model for run/concurrent.
+
+    ``--optimize`` maps to ``"auto"`` and conflicts loudly with an
+    explicit ``--model``; with neither flag the default stays
+    ``"chunked"``.  Returns None (after printing the error) on
+    conflict.
+    """
+    if getattr(args, "optimize", False):
+        if args.model is not None:
+            print(f"--optimize conflicts with an explicit "
+                  f"--model {args.model}; pass one or the other",
+                  file=sys.stderr)
+            return None
+        return "auto"
+    return args.model if args.model is not None else "chunked"
 
 
 def _query_module(name: str):
@@ -376,11 +421,21 @@ def _run_with_faults(args, graph, catalog, plan, *, analyze=False):
 
 def cmd_explain(args) -> int:
     """Render the query's plan the way the executor would run it."""
-    from repro.observe import explain
+    from repro.observe import explain, explain_plans
 
     catalog = generate(args.sf, seed=args.seed)
     _module, graph = _build_query(args.query, catalog)
+    if args.plans is not None and args.plans < 1:
+        print(f"--plans must be >= 1, got {args.plans}", file=sys.stderr)
+        return 2
     executor = _make_executor(args)
+    if args.plans is not None:
+        print(explain_plans(graph, catalog, devices=executor.devices,
+                            default_device=executor.default_device,
+                            chunk_size=args.chunk_size,
+                            data_scale=args.data_scale,
+                            top_k=args.plans))
+        return 0
     print(explain(graph, catalog, devices=executor.devices,
                   default_device=executor.default_device,
                   model=args.model, chunk_size=args.chunk_size,
@@ -390,6 +445,10 @@ def cmd_explain(args) -> int:
 
 
 def cmd_run(args) -> int:
+    model = _resolve_model_arg(args)
+    if model is None:
+        return 2
+    args.model = model
     plan = FaultPlan.parse(args.faults) if args.faults else None
     catalog = generate(args.sf, seed=args.seed)
     module, graph = _build_graph(args, catalog)
@@ -471,6 +530,10 @@ def cmd_concurrent(args) -> int:
     """Interleave a query batch on one shared device (engine mode)."""
     from repro.engine import Engine, QueryRequest
 
+    model = _resolve_model_arg(args)
+    if model is None:
+        return 2
+    args.model = model
     plan = FaultPlan.parse(args.faults) if args.faults else None
     catalog = generate(args.sf, seed=args.seed)
     driver, kind = DRIVERS[args.driver]

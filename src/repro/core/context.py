@@ -168,12 +168,25 @@ class QueryResult:
 
 
 class ExecutionContext:
-    """Everything an execution model needs to run one query."""
+    """Everything an execution model needs to run one query.
 
-    def __init__(self, *, graph: PrimitiveGraph, catalog: Catalog,
+    Since the plan-IR refactor the context is a thin binding of a
+    :class:`~repro.planner.ir.PhysicalPlan` (the *decisions*: graph,
+    chunk size, fusion, adaptive arming, ANALYZE) to the *machinery*
+    that executes it (catalog, devices, registry, clock, query
+    identity, retry policy, metrics).  Pass ``plan=`` directly, or use
+    the legacy keyword form (``graph=``, ``chunk_size=``, ``fuse=``,
+    ...) and the context builds the plan internally — byte-identical
+    behavior either way.
+    """
+
+    def __init__(self, *, catalog: Catalog,
                  devices: dict[str, Device], registry: TaskRegistry,
-                 clock: VirtualClock, chunk_size: int,
-                 default_device: str, data_scale: int = 1,
+                 clock: VirtualClock, default_device: str,
+                 plan: "object | None" = None,
+                 graph: PrimitiveGraph | None = None,
+                 chunk_size: int | None = None,
+                 data_scale: int = 1,
                  query: QueryContext | None = None,
                  fuse: bool = False,
                  retry_policy: "RetryPolicy | None" = None,
@@ -187,40 +200,84 @@ class ExecutionContext:
                 f"default device {default_device!r} not registered; "
                 f"plugged: {sorted(devices)}"
             )
-        if data_scale < 1:
-            raise ExecutionError(f"data_scale must be >= 1, got {data_scale}")
-        if chunk_size <= 0 or chunk_size % (32 * data_scale) != 0:
-            raise ExecutionError(
-                f"chunk_size must be a positive multiple of 32*data_scale "
-                f"rows (bitmap word alignment after descaling), got "
-                f"{chunk_size} with data_scale={data_scale}"
-            )
-        if fuse:
+        if plan is None:
+            # Legacy construction: build the plan from loose flags.
+            if graph is None:
+                raise ExecutionError(
+                    "ExecutionContext needs a plan= or a graph=")
             # Imported lazily: the planner imports core.graph, so a
             # module-level import here would be circular.
-            from repro.planner.fusion import fuse_graph
-            graph = fuse_graph(graph)
-        self.graph = graph
+            from repro.planner.fusion import FusionPass
+            from repro.planner.ir import DEFAULT_CHUNK_SIZE, PhysicalPlan
+            plan = PhysicalPlan(
+                graph=graph,
+                chunk_size=(chunk_size if chunk_size is not None
+                            else DEFAULT_CHUNK_SIZE),
+                data_scale=data_scale,
+                analyze=analyze, adaptive=adaptive,
+            )
+            self._validate_plan(plan)
+            if fuse:
+                plan = FusionPass()(plan)
+        elif graph is not None:
+            raise ExecutionError("pass either plan= or graph=, not both")
+        else:
+            self._validate_plan(plan)
+        #: The :class:`~repro.planner.ir.PhysicalPlan` this context
+        #: executes; ``graph``/``chunk_size``/``data_scale``/``analyze``
+        #: /``adaptive`` delegate to it.
+        self.plan = plan
         self.catalog = catalog
         self.devices = devices
         self.registry = registry
         self.clock = clock
-        self.chunk_size = chunk_size
         self.default_device = default_device
-        self.data_scale = data_scale
         self.query = query if query is not None else QueryContext()
         self.retry_policy = (retry_policy if retry_policy is not None
                              else RetryPolicy())
         #: :class:`~repro.observe.MetricsRegistry` the hub and models
         #: report into (None = no instrumentation).
         self.metrics = metrics
-        #: Attach a per-node :class:`~repro.observe.QueryProfile` to the
-        #: result (EXPLAIN ANALYZE mode).
-        self.analyze = analyze
-        #: Enable online calibration, dynamic chunk sizing and
-        #: work-stealing (see :mod:`repro.planner.adaptive`); results
-        #: stay byte-identical to the static run.
-        self.adaptive = adaptive
+
+    @staticmethod
+    def _validate_plan(plan) -> None:
+        if plan.data_scale < 1:
+            raise ExecutionError(
+                f"data_scale must be >= 1, got {plan.data_scale}")
+        if plan.chunk_size <= 0 \
+                or plan.chunk_size % (32 * plan.data_scale) != 0:
+            raise ExecutionError(
+                f"chunk_size must be a positive multiple of 32*data_scale "
+                f"rows (bitmap word alignment after descaling), got "
+                f"{plan.chunk_size} with data_scale={plan.data_scale}"
+            )
+
+    # -- plan delegation ----------------------------------------------------
+
+    @property
+    def graph(self) -> PrimitiveGraph:
+        return self.plan.graph
+
+    @property
+    def chunk_size(self) -> int:
+        return self.plan.chunk_size
+
+    @property
+    def data_scale(self) -> int:
+        return self.plan.data_scale
+
+    @property
+    def analyze(self) -> bool:
+        """Attach a per-node :class:`~repro.observe.QueryProfile` to the
+        result (EXPLAIN ANALYZE mode)."""
+        return self.plan.analyze
+
+    @property
+    def adaptive(self) -> bool:
+        """Online calibration, dynamic chunk sizing and work-stealing
+        (see :mod:`repro.planner.adaptive`) are armed; results stay
+        byte-identical to the static run."""
+        return self.plan.adaptive
 
     @property
     def physical_chunk_rows(self) -> int:

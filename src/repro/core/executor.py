@@ -42,9 +42,11 @@ __all__ = ["AdamantExecutor", "DEFAULT_CHUNK_SIZE"]
 class AdamantExecutor:
     """A query executor with plug-in interfaces for co-processors."""
 
-    def __init__(self, *, registry: TaskRegistry | None = None) -> None:
+    def __init__(self, *, registry: TaskRegistry | None = None,
+                 overlay_path: str | None = None) -> None:
         self._engine = Engine(registry=registry, enable_residency=False,
-                              max_concurrent=1)
+                              max_concurrent=1,
+                              overlay_path=overlay_path)
 
     # -- engine delegation ----------------------------------------------------
 
@@ -73,6 +75,13 @@ class AdamantExecutor:
         """The engine's :class:`~repro.observe.MetricsRegistry` (kept
         across runs; counters accumulate until ``metrics.reset()``)."""
         return self._engine.metrics
+
+    @property
+    def overlay(self):
+        """The engine's :class:`~repro.planner.cost.CostOverlayStore`
+        (calibrated cost corrections ``model="auto"`` runs fold into;
+        persisted when ``overlay_path`` was given)."""
+        return self._engine.overlay
 
     # -- plugging ---------------------------------------------------------------
 
@@ -117,7 +126,12 @@ class AdamantExecutor:
         directly comparable.
 
         Args:
-            model: One of :data:`repro.core.models.MODELS`.
+            model: One of :data:`repro.core.models.MODELS`, or
+                ``"auto"`` to let the cost-based optimizer
+                (:class:`~repro.planner.optimizer.PlanOptimizer`) pick
+                the model, placement, fusion subset and chunk size;
+                the chosen plan executes byte-identically to the same
+                manual configuration.
             chunk_size: *Logical* rows per chunk (the paper uses 2^25).
             data_scale: Each physical catalog row stands for this many
                 logical rows; transfers, kernel charges and memory

@@ -68,7 +68,13 @@ def shallow_hash_pipeline(graph: PrimitiveGraph, pipeline: Pipeline) -> bool:
 
 
 class ExecutionModel(abc.ABC):
-    """Base class: runs a primitive graph pipeline-by-pipeline."""
+    """Base class: runs a primitive graph pipeline-by-pipeline.
+
+    Models execute a :class:`~repro.planner.ir.PhysicalPlan` — the
+    context carries one, and every planning decision (graph, chunk
+    size, adaptive arming, ANALYZE) is read off it rather than from
+    loose flags.
+    """
 
     name: str = "abstract"
     #: Chunk staging buffers are host-pinned (4-phase models).
@@ -85,9 +91,46 @@ class ExecutionModel(abc.ABC):
     #: buffers without a DMA, and every kernel consuming scan data pays
     #: the interconnect read itself (Listing 2's CL_MEM_ALLOC_HOST_PTR).
     zero_copy: bool = False
+    #: Chunkable pipelines fan out across *all* plugged devices (the
+    #: split model); the plan pricer mirrors the model's proportional
+    #: chunk apportioning (slowest share bounds the makespan) and the
+    #: optimizer skips per-pipeline placement flips (the model owns
+    #: placement at runtime).
+    splits_chunks: bool = False
+    #: Search-space axes the cost-based optimizer varies for this model.
+    #: Subclasses shrink it when an axis cannot change the execution
+    #: (operator-at-a-time ignores the chunk size; the split model
+    #: overrides placement).
+    tunable: frozenset[str] = frozenset({"placement", "chunk", "fusion"})
+
+    @classmethod
+    def supports(cls, graph: PrimitiveGraph, catalog, *,
+                 physical_chunk_rows: int) -> bool:
+        """Whether this model can execute *graph* at the given chunk
+        size — the optimizer's feasibility filter.
+
+        The default mirrors the chunk loop's own constraint: a
+        full-input primitive (sorting) inside a chunkable pipeline must
+        see all its rows in one chunk.
+        """
+        for pipeline in split_pipelines(graph):
+            if not pipeline.is_chunkable:
+                continue
+            if not any(graph.nodes[nid].defn.requires_full_input
+                       for nid in pipeline.node_ids):
+                continue
+            total = max(
+                (catalog.column(ref).values.shape[0]
+                 for ref in pipeline.scan_refs), default=0)
+            if total > physical_chunk_rows:
+                return False
+        return True
 
     def __init__(self, ctx: ExecutionContext) -> None:
         self.ctx = ctx
+        #: The :class:`~repro.planner.ir.PhysicalPlan` being executed
+        #: (shared with the context; the decision surface of the run).
+        self.plan = ctx.plan
         self.hub = DataTransferHub(ctx)
         #: node id -> alias of its (current) result buffer
         self.node_alias: dict[str, str] = {}
@@ -100,7 +143,7 @@ class ExecutionModel(abc.ABC):
         self._spans: list[tuple[int, float, float]] = []
         #: Adaptive-execution companion (None for static runs).
         self.adaptive = None
-        if ctx.adaptive:
+        if self.plan.adaptive:
             # Imported lazily: the planner imports core modules, so a
             # module-level import here would be circular.
             from repro.planner.adaptive import AdaptiveController
@@ -122,7 +165,7 @@ class ExecutionModel(abc.ABC):
         drains it for the single-query path.  Yields each completed
         :class:`Pipeline`.
         """
-        graph = self.ctx.graph
+        graph = self.plan.graph
         graph.validate()
         graph.reset_runtime_state()
         for device in self.ctx.devices.values():
@@ -151,7 +194,7 @@ class ExecutionModel(abc.ABC):
             result.stats.adaptive_resizes = self.adaptive.resizes
             result.stats.adaptive_steals = self.adaptive.steals
             result.stats.adaptive_replacements = self.adaptive.replacements
-        if self.ctx.analyze:
+        if self.plan.analyze:
             # Imported lazily: observe sits above the core layer.
             from repro.observe.profile import build_profile
             result.profile = build_profile(self.ctx, result.stats,
@@ -323,14 +366,14 @@ class ExecutionModel(abc.ABC):
         Serialized vs. overlapped behaviour and pinned vs. pageable
         staging are controlled by ``overlapped`` / ``uses_pinned_staging``.
         """
-        graph = self.ctx.graph
+        graph = self.plan.graph
         device = self.pipeline_device(pipeline)
         if not pipeline.is_chunkable:
             self._run_unchunked(pipeline, device)
             return
 
         total = self.scan_length(pipeline)
-        chunk = self.ctx.physical_chunk_rows
+        chunk = self.plan.physical_chunk_rows
         factor = self.transfer_factor(device, pipeline)
         n_buffers = self.staging_buffers or (
             2 if (self.overlapped or self.uses_pinned_staging) else 1

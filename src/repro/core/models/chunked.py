@@ -17,7 +17,14 @@ __all__ = ["ChunkedModel"]
 
 
 class ChunkedModel(ExecutionModel):
-    """Serialized chunk-wise execution over pageable transfers."""
+    """Serialized chunk-wise execution over pageable transfers.
+
+    Plan pricing (:func:`~repro.planner.cost.estimate_plan_seconds`):
+    transfer and compute serialize, so a pipeline costs their sum;
+    every extra chunk adds one DMA setup per scan column plus one
+    launch per node — the overhead the chunk-size ladder trades against
+    memory footprint.
+    """
 
     name = "chunked"
     uses_pinned_staging = False

@@ -27,7 +27,12 @@ __all__ = ["FourPhaseChunkedModel", "FourPhasePipelinedModel"]
 
 
 class FourPhaseChunkedModel(ExecutionModel):
-    """Stage/copy/compute/delete with serialized copy-compute."""
+    """Stage/copy/compute/delete with serialized copy-compute.
+
+    Plan pricing: chunks stream at *pinned* bandwidth (including the
+    OpenCL shallow-hash penalty where calibrated), serialized with
+    compute.
+    """
 
     name = "four_phase_chunked"
     uses_pinned_staging = True
@@ -38,7 +43,12 @@ class FourPhaseChunkedModel(ExecutionModel):
 
 
 class FourPhasePipelinedModel(ExecutionModel):
-    """Stage/copy/compute/delete with copy-compute overlap."""
+    """Stage/copy/compute/delete with copy-compute overlap.
+
+    Plan pricing: pinned-bandwidth transfers overlapped with compute —
+    ``max(transfer, compute)`` per multi-chunk pipeline, the cheapest
+    single-device streaming shape when transfer dominates.
+    """
 
     name = "four_phase_pipelined"
     uses_pinned_staging = True

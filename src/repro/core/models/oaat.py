@@ -23,6 +23,13 @@ class OperatorAtATimeModel(ExecutionModel):
     name = "oaat"
     uses_pinned_staging = False
     overlapped = False
+    #: No chunk loop: the optimizer's chunk-size ladder is irrelevant,
+    #: and full-input primitives are always fine (inputs stay resident).
+    tunable = frozenset({"placement", "fusion"})
+
+    @classmethod
+    def supports(cls, graph, catalog, *, physical_chunk_rows: int) -> bool:
+        return True
 
     def run_pipeline(self, pipeline: Pipeline) -> None:
         device = self.pipeline_device(pipeline)

@@ -17,7 +17,12 @@ __all__ = ["PipelinedModel"]
 
 
 class PipelinedModel(ExecutionModel):
-    """Copy-compute overlapped execution over pageable transfers."""
+    """Copy-compute overlapped execution over pageable transfers.
+
+    Plan pricing: with dual buffers the longer of the transfer and
+    compute streams dominates a multi-chunk pipeline, so the optimizer
+    charges ``max(transfer, compute)`` instead of their sum.
+    """
 
     name = "pipelined"
     uses_pinned_staging = False

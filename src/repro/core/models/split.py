@@ -42,6 +42,11 @@ class SplitChunkedModel(ExecutionModel):
     name = "split_chunked"
     uses_pinned_staging = True
     overlapped = False
+    splits_chunks = True
+    #: Placement flips are pointless: the model distributes chunkable
+    #: pipelines over every device and overrides annotations elsewhere
+    #: (``_run_single``), so the optimizer only varies chunk and fusion.
+    tunable = frozenset({"chunk", "fusion"})
 
     def run_pipeline(self, pipeline: Pipeline) -> None:
         graph = self.ctx.graph
@@ -205,18 +210,25 @@ class SplitChunkedModel(ExecutionModel):
         devices = list(self.ctx.devices.values())
         if not devices:
             raise ExecutionError("no devices plugged")
-        devices.sort(key=lambda d: -self._rate(d))
+        devices.sort(key=lambda d: -self.rate_proxy(d))
         return devices  # type: ignore[return-value]
 
     @staticmethod
-    def _rate(device: SimulatedDevice) -> float:
-        """Chunks/second proxy: bounded by interconnect and map rate."""
+    def rate_proxy(device: SimulatedDevice) -> float:
+        """Chunks/second proxy: bounded by interconnect and map rate.
+
+        Public because the plan pricer
+        (:func:`~repro.planner.cost.estimate_plan_seconds`) must use
+        the *same* proxy to predict how this model apportions chunks —
+        the split is proportional to this rate, not to the true
+        per-pipeline cost, and a straggler share dominates makespan.
+        """
         bandwidth = device.cost.bandwidth("h2d", pinned=True)
         return min(bandwidth, device.cost.throughput("map", 2**20) * 8)
 
     def _shares(self, devices: list[SimulatedDevice], chunks: int
                 ) -> list[float]:
-        rates = [self._rate(d) for d in devices]
+        rates = [self.rate_proxy(d) for d in devices]
         total = sum(rates)
         return [max(rate / total, 1e-6) for rate in rates]
 

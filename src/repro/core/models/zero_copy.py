@@ -27,7 +27,13 @@ __all__ = ["ZeroCopyModel"]
 
 
 class ZeroCopyModel(ExecutionModel):
-    """Kernels read host-resident unified memory directly."""
+    """Kernels read host-resident unified memory directly.
+
+    Plan pricing: no DMA term at all; instead every kernel consuming a
+    scan column is charged the interconnect read on the compute stream,
+    so the optimizer sees the re-read amplification and avoids this
+    model when pipelines touch columns more than once.
+    """
 
     name = "zero_copy"
     uses_pinned_staging = True

@@ -21,7 +21,8 @@ engine (``fresh`` mode), byte-compatible with its original behavior.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from pathlib import Path
 
 from repro.core.context import ExecutionContext, QueryResult
 from repro.core.graph import PrimitiveGraph
@@ -37,13 +38,13 @@ from repro.faults import FaultPlan, RetryPolicy
 from repro.hardware.clock import VirtualClock
 from repro.hardware.specs import DeviceKind, DeviceSpec
 from repro.observe.metrics import MetricsRegistry
+from repro.planner.cost import CostOverlayStore
+from repro.planner.ir import DEFAULT_CHUNK_SIZE, PhysicalPlan
+from repro.planner.optimizer import OptimizerReport, PlanOptimizer
 from repro.storage import Catalog
 from repro.task.registry import TaskRegistry, default_registry
 
 __all__ = ["DEFAULT_CHUNK_SIZE", "Engine", "QueryRequest"]
-
-#: The paper's evaluation chunk size: 2^25 values (Section V-C).
-DEFAULT_CHUNK_SIZE = 2**25
 
 
 @dataclass
@@ -56,6 +57,8 @@ class QueryRequest:
 
     graph: PrimitiveGraph
     catalog: Catalog
+    #: Execution-model name, or ``"auto"`` to let the cost-based
+    #: optimizer pick model, placement, fusion and chunk size.
     model: str = "chunked"
     chunk_size: int = DEFAULT_CHUNK_SIZE
     default_device: str | None = None
@@ -88,6 +91,10 @@ class Engine:
             (defaults to :class:`~repro.faults.RetryPolicy`'s defaults).
         quarantine_threshold: Consecutive device faults before the
             scheduler's circuit breaker quarantines a device.
+        overlay_path: Optional JSON file the engine's
+            :class:`~repro.planner.cost.CostOverlayStore` loads from and
+            saves to, persisting calibrated cost corrections across
+            processes (None keeps the store in-memory only).
     """
 
     def __init__(self, *, registry: TaskRegistry | None = None,
@@ -95,7 +102,8 @@ class Engine:
                  max_concurrent: int = 8,
                  faults: FaultPlan | None = None,
                  retry_policy: RetryPolicy | None = None,
-                 quarantine_threshold: int = 3) -> None:
+                 quarantine_threshold: int = 3,
+                 overlay_path: str | Path | None = None) -> None:
         if max_concurrent < 1:
             raise ExecutionError(
                 f"max_concurrent must be >= 1, got {max_concurrent}")
@@ -115,6 +123,10 @@ class Engine:
         #: plugged device, armed injector, and executed query reports
         #: into it (see ``docs/observability.md``).
         self.metrics = MetricsRegistry()
+        #: Calibrated per-device-spec cost corrections; the optimizer
+        #: prices with it and every ``model="auto"`` execution folds its
+        #: observed/predicted ratio back in.
+        self.overlay = CostOverlayStore(overlay_path)
         if faults is not None:
             self.install_faults(faults)
 
@@ -291,16 +303,33 @@ class Engine:
             adaptive: Enable adaptive execution — online cost-model
                 calibration, dynamic chunk sizing and split-model work
                 stealing (:mod:`repro.planner.adaptive`).
+
+        With ``model="auto"`` the cost-based optimizer
+        (:class:`~repro.planner.optimizer.PlanOptimizer`) picks the
+        execution model, placement, fusion subset and chunk size first;
+        the chosen plan then runs through the normal path, so the
+        result is byte-identical to the same manual configuration.
         """
+        plan = report = None
+        if model == "auto":
+            plan, report = self._optimize(
+                graph, catalog, chunk_size=chunk_size,
+                default_device=default_device, data_scale=data_scale,
+                analyze=analyze, adaptive=adaptive)
+            graph, model, chunk_size = plan.graph, plan.model, \
+                plan.chunk_size
+            fuse = False
         model_cls = self._resolve_model(model)
         if fresh:
-            return self._execute_fresh(
+            result = self._execute_fresh(
                 model_cls, graph, catalog, chunk_size=chunk_size,
                 default_device=default_device, data_scale=data_scale,
-                fuse=fuse, analyze=analyze, adaptive=adaptive)
+                fuse=fuse, analyze=analyze, adaptive=adaptive, plan=plan)
+            self._finish_optimized(report, result)
+            return result
 
-        auto = session is None
-        if auto:
+        auto_session = session is None
+        if auto_session:
             session = self.open_session(memory_budget=memory_budget)
         try:
             epoch_start = self.clock.begin_epoch()
@@ -308,7 +337,7 @@ class Engine:
                 model_cls, session, graph, catalog, chunk_size=chunk_size,
                 default_device=default_device, data_scale=data_scale,
                 epoch_start=epoch_start, fuse=fuse, analyze=analyze,
-                adaptive=adaptive)
+                adaptive=adaptive, plan=plan)
             rebuild = self._make_rebuild(
                 model_cls, session, graph, catalog,
                 default_device=default_device, data_scale=data_scale,
@@ -320,9 +349,10 @@ class Engine:
             if session.error is not None:
                 raise session.error
             assert session.result is not None
+            self._finish_optimized(report, session.result)
             return session.result
         finally:
-            if auto:
+            if auto_session:
                 session.close()
 
     def run_concurrent(self, requests: list[QueryRequest], *,
@@ -347,6 +377,25 @@ class Engine:
                 "each concurrent request needs its own graph instance "
                 "(primitive graphs carry runtime edge state)"
             )
+        # Resolve ``model="auto"`` requests up front: each gets its
+        # optimizer-chosen plan before any wave is admitted.
+        plans: list[PhysicalPlan | None] = [None] * len(requests)
+        reports: list[OptimizerReport | None] = [None] * len(requests)
+        normalized: list[QueryRequest] = []
+        for i, request in enumerate(requests):
+            if request.model == "auto":
+                plan, opt_report = self._optimize(
+                    request.graph, request.catalog,
+                    chunk_size=request.chunk_size,
+                    default_device=request.default_device,
+                    data_scale=request.data_scale,
+                    analyze=request.analyze, adaptive=request.adaptive)
+                request = replace(
+                    request, graph=plan.graph, model=plan.model,
+                    chunk_size=plan.chunk_size, fuse=False)
+                plans[i], reports[i] = plan, opt_report
+            normalized.append(request)
+        requests = normalized
         for request in requests:
             self._resolve_model(request.model)  # fail before admitting
         results: list[QueryResult | Exception] = []
@@ -356,7 +405,7 @@ class Engine:
             epoch_start = self.clock.begin_epoch()
             work: list[tuple] = []
             try:
-                for request in wave:
+                for j, request in enumerate(wave):
                     session = self.open_session(
                         memory_budget=request.memory_budget,
                         label=request.label)
@@ -369,7 +418,8 @@ class Engine:
                         data_scale=request.data_scale,
                         epoch_start=epoch_start, fuse=request.fuse,
                         analyze=request.analyze,
-                        adaptive=request.adaptive)
+                        adaptive=request.adaptive,
+                        plan=plans[offset + j])
                     rebuild = self._make_rebuild(
                         model_cls, session, request.graph, request.catalog,
                         default_device=request.default_device,
@@ -395,6 +445,10 @@ class Engine:
             finally:
                 for session, *_ in work:
                     session.close()
+        for i, opt_report in enumerate(reports):
+            if opt_report is not None and i < len(results) \
+                    and isinstance(results[i], QueryResult):
+                self._finish_optimized(opt_report, results[i])
         return results
 
     # -- helpers -------------------------------------------------------------
@@ -406,27 +460,83 @@ class Engine:
         except KeyError:
             raise ExecutionError(
                 f"unknown execution model {model!r}; "
-                f"available: {sorted(MODELS)}"
+                f"available: {sorted(MODELS)} (or 'auto')"
             ) from None
 
+    def _optimize(self, graph: PrimitiveGraph, catalog: Catalog, *,
+                  chunk_size: int, default_device: str | None,
+                  data_scale: int, analyze: bool, adaptive: bool
+                  ) -> tuple[PhysicalPlan, OptimizerReport]:
+        """Run the cost-based optimizer for one ``model="auto"`` query."""
+        devices = self._healthy_devices()
+        default = default_device or self.default_device
+        optimizer = PlanOptimizer(
+            catalog, devices, default_device=default,
+            data_scale=data_scale, overlay=self.overlay.factors(devices),
+            metrics=self.metrics)
+        return optimizer.choose(graph, chunk_size=chunk_size,
+                                analyze=analyze, adaptive=adaptive)
+
+    def _finish_optimized(self, report: OptimizerReport | None,
+                          result: QueryResult | None) -> None:
+        """Fold one optimizer-chosen execution's observed makespan back
+        into the overlay store and the metrics."""
+        if report is None or result is None:
+            return
+        chosen = report.chosen
+        healthy = self._healthy_devices()
+        if MODELS[chosen.model].splits_chunks:
+            used = set(healthy)
+        else:
+            used = {device for _, device in chosen.placement}
+        devices = [healthy[name] for name in sorted(used)
+                   if name in healthy]
+        observed = result.stats.makespan
+        predicted = chosen.cost.total
+        if devices and observed > 0 and predicted > 0:
+            self.overlay.fold(devices, observed=observed,
+                              predicted=predicted)
+        self.metrics.set("adamant_optimizer_observed_seconds", observed,
+                         query=report.graph_name or "q0")
+
     def _context(self, graph: PrimitiveGraph, catalog: Catalog, *,
-                 chunk_size: int, default_device: str | None,
-                 data_scale: int,
+                 model: str, chunk_size: int,
+                 default_device: str | None, data_scale: int,
                  devices: dict[str, SimulatedDevice] | None = None,
-                 **kwargs) -> ExecutionContext:
+                 query=None, fuse: bool = False, analyze: bool = False,
+                 adaptive: bool = False,
+                 plan: PhysicalPlan | None = None) -> ExecutionContext:
+        """Build the per-query context around a :class:`PhysicalPlan`.
+
+        Without an optimizer-made *plan*, the engine assembles one here
+        from the loose knobs, running the planner passes the flags ask
+        for (fusion, adaptive arming) — the legacy configuration path,
+        byte-identical to the pre-IR behavior.
+        """
+        if plan is None:
+            plan = PhysicalPlan(
+                graph=graph, model=model, chunk_size=chunk_size,
+                data_scale=data_scale, analyze=analyze)
+            ExecutionContext._validate_plan(plan)
+            if fuse:
+                # Imported lazily: keeps engine import light and
+                # mirrors the context's own legacy path.
+                from repro.planner.fusion import FusionPass
+                plan = FusionPass()(plan)
+            if adaptive:
+                from repro.planner.adaptive import AdaptivePass
+                plan = AdaptivePass()(plan)
         return ExecutionContext(
-            graph=graph,
+            plan=plan,
             catalog=catalog,
             devices=devices if devices is not None
             else self._healthy_devices(),
             registry=self.registry,
             clock=self.clock,
-            chunk_size=chunk_size,
             default_device=default_device or self.default_device,
-            data_scale=data_scale,
+            query=query,
             retry_policy=self._retry_policy,
             metrics=self.metrics,
-            **kwargs,
         )
 
     def _build_model(self, model_cls: type[ExecutionModel],
@@ -434,13 +544,13 @@ class Engine:
                      catalog: Catalog, *, chunk_size: int,
                      default_device: str | None, data_scale: int,
                      epoch_start: float, fuse: bool = False,
-                     analyze: bool = False,
-                     adaptive: bool = False) -> ExecutionModel:
+                     analyze: bool = False, adaptive: bool = False,
+                     plan: PhysicalPlan | None = None) -> ExecutionModel:
         ctx = self._context(
-            graph, catalog, chunk_size=chunk_size,
+            graph, catalog, model=model_cls.name, chunk_size=chunk_size,
             default_device=default_device, data_scale=data_scale,
             query=session.query_context(epoch_start=epoch_start),
-            fuse=fuse, analyze=analyze, adaptive=adaptive,
+            fuse=fuse, analyze=analyze, adaptive=adaptive, plan=plan,
         )
         return model_cls(ctx)
 
@@ -482,7 +592,8 @@ class Engine:
             if default not in survivors:
                 default = next(iter(survivors))
             ctx = self._context(
-                graph, catalog, chunk_size=chunk_size,
+                graph, catalog, model=model_cls.name,
+                chunk_size=chunk_size,
                 default_device=default, data_scale=data_scale,
                 devices=survivors,
                 query=session.query_context(epoch_start=epoch_start),
@@ -495,16 +606,17 @@ class Engine:
                        graph: PrimitiveGraph, catalog: Catalog, *,
                        chunk_size: int, default_device: str | None,
                        data_scale: int, fuse: bool = False,
-                       analyze: bool = False,
-                       adaptive: bool = False) -> QueryResult:
+                       analyze: bool = False, adaptive: bool = False,
+                       plan: PhysicalPlan | None = None) -> QueryResult:
         """Single-shot semantics: reset the timeline and devices, run."""
         self.clock.reset()
         for device in self.devices.values():
             device.reset(data_scale=data_scale)
-        ctx = self._context(graph, catalog, chunk_size=chunk_size,
+        ctx = self._context(graph, catalog, model=model_cls.name,
+                            chunk_size=chunk_size,
                             default_device=default_device,
                             data_scale=data_scale, fuse=fuse,
-                            analyze=analyze, adaptive=adaptive)
+                            analyze=analyze, adaptive=adaptive, plan=plan)
         model_obj = model_cls(ctx)
         try:
             result = model_obj.run()

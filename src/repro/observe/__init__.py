@@ -13,10 +13,14 @@ documented surface; see ``docs/observability.md``).
   Prometheus text or JSON.
 """
 
+# estimate_graph_seconds / estimate_node_seconds are deprecated
+# re-exports: the estimators live in repro.planner.cost since the
+# plan-IR refactor (observe builds on the planner, not vice versa).
 from repro.observe.explain import (
     estimate_graph_seconds,
     estimate_node_seconds,
     explain,
+    explain_plans,
 )
 from repro.observe.metrics import (
     DEFAULT_BUCKETS,
@@ -35,4 +39,5 @@ __all__ = [
     "estimate_graph_seconds",
     "estimate_node_seconds",
     "explain",
+    "explain_plans",
 ]

@@ -24,69 +24,23 @@ from repro.core.pipelines import split_pipelines
 from repro.devices.base import SimulatedDevice
 from repro.errors import ExecutionError
 from repro.hardware.costmodel import TransferDirection
+
+# Deprecated re-exports: the estimators moved to repro.planner.cost so
+# the observe layer depends on the planner (not the other way around).
+# Import them from repro.planner.cost in new code; these names stay for
+# compatibility with pre-optimizer callers.
+from repro.planner.cost import (  # noqa: F401  (re-exported)
+    DEFAULT_SELECTIVITY as _DEFAULT_SELECTIVITY,
+    SELECTIVE_PRIMITIVES as _SELECTIVE_PRIMITIVES,
+    estimate_graph_seconds,
+    estimate_node_seconds,
+)
 from repro.planner.fusion import FUSED_PRIMITIVE
+from repro.planner.ir import DEFAULT_CHUNK_SIZE as _DEFAULT_CHUNK_SIZE
 from repro.storage import Catalog
 
-__all__ = ["explain", "estimate_node_seconds", "estimate_graph_seconds"]
-
-#: Mirrors ``repro.planner.placement``: primitives that shrink the row
-#: domain for everything downstream of them.
-_SELECTIVE_PRIMITIVES = ("materialize", "materialize_position",
-                         "hash_probe", "filter_position")
-_DEFAULT_SELECTIVITY = 0.5
-
-#: Default logical chunk size (rows), matching the engine's.
-_DEFAULT_CHUNK_SIZE = 2 ** 25
-
-
-def estimate_node_seconds(node: PrimitiveNode, device: SimulatedDevice,
-                          n_elements: int) -> float:
-    """Cost-model estimate for one node at cardinality *n_elements*.
-
-    Regular nodes are charged one launch plus the calibrated kernel
-    time for their cost key (exactly the terms the placement estimator
-    uses); fused MAP/FILTER nodes are charged one launch plus
-    :meth:`~repro.hardware.costmodel.CostModel.fused_kernel_seconds`
-    over their recorded step list.
-    """
-    cost = device.cost
-    n = max(1, int(n_elements))
-    cost_params = dict(node.cost_params)
-    fused_steps = cost_params.pop("fused_steps", None)
-    fused_num_args = cost_params.pop("fused_num_args", None)
-    if fused_steps is not None:
-        launch = cost.launch_seconds(int(fused_num_args or 2))
-        return launch + cost.fused_kernel_seconds(fused_steps, n)
-    return cost.launch_seconds(2) + cost.kernel_seconds(
-        node.defn.cost_key, n, **cost_params)
-
-
-def estimate_graph_seconds(graph: PrimitiveGraph, catalog: Catalog,
-                           devices: dict[str, SimulatedDevice],
-                           default_device: str, *, data_scale: int = 1,
-                           ) -> dict[str, float]:
-    """Per-node cost estimates for every node of *graph*.
-
-    Walks each pipeline in order, decaying the row domain after
-    selective primitives the same way the placement estimator does, and
-    returns ``{node_id: estimated_seconds}`` (kernel + launch only;
-    transfers are pipeline-level and reported separately by EXPLAIN).
-    """
-    estimates: dict[str, float] = {}
-    for pipeline in split_pipelines(graph):
-        if pipeline.scan_refs:
-            rows = catalog.column(pipeline.scan_refs[0]).values.shape[0]
-        else:
-            rows = 1024  # breaker-only pipelines: nominal cardinality
-        depth_rows = float(rows * data_scale)
-        for nid in pipeline.node_ids:
-            node = graph.nodes[nid]
-            device = devices[node.device or default_device]
-            estimates[nid] = estimate_node_seconds(
-                node, device, max(1, int(depth_rows)))
-            if node.primitive in _SELECTIVE_PRIMITIVES:
-                depth_rows *= _DEFAULT_SELECTIVITY
-    return estimates
+__all__ = ["explain", "explain_plans", "estimate_node_seconds",
+           "estimate_graph_seconds"]
 
 
 def _fmt_seconds(seconds: float) -> str:
@@ -219,4 +173,69 @@ def explain(graph: PrimitiveGraph, catalog: Catalog, *,
                 node, devices[node.device or default_device],
                 estimates[nid]))
     lines.append(f"  estimated total: {_fmt_seconds(total)}")
+    return "\n".join(lines)
+
+
+def explain_plans(graph: PrimitiveGraph, catalog: Catalog, *,
+                  devices: dict[str, SimulatedDevice],
+                  default_device: str | None = None,
+                  chunk_size: int = _DEFAULT_CHUNK_SIZE,
+                  data_scale: int = 1, top_k: int = 3,
+                  overlay: dict[str, float] | None = None) -> str:
+    """EXPLAIN PLANS: render the optimizer's top-k ranked candidates.
+
+    Runs the cost-based search
+    (:meth:`~repro.planner.optimizer.PlanOptimizer.search`) without
+    executing anything and renders each surviving candidate with its
+    decision vector and cost breakdown.  Like :func:`explain`, the
+    output is a deterministic function of (graph, catalog, devices,
+    options) — byte-identical across renders, which the golden tests
+    assert.
+    """
+    if not devices:
+        raise ExecutionError("no devices to explain against")
+    if default_device is None:
+        default_device = sorted(devices)[0]
+    if default_device not in devices:
+        raise ExecutionError(
+            f"default device {default_device!r} not plugged; "
+            f"plugged: {sorted(devices)}")
+    from repro.planner.optimizer import PlanOptimizer
+    optimizer = PlanOptimizer(
+        catalog, devices, default_device=default_device,
+        data_scale=data_scale, overlay=overlay)
+    report = optimizer.search(graph, chunk_size=chunk_size, top_k=top_k)
+
+    lines = [
+        f"EXPLAIN PLANS {graph.name}",
+        f"  data_scale={data_scale}  requested_chunk={chunk_size}  "
+        f"beam={report.beam_width}",
+    ]
+    for name in sorted(devices):
+        device = devices[name]
+        lines.append(
+            f"  device {name}: {device.spec.kind.value}/"
+            f"{device.sdk.value} ({device.spec.name})")
+    lines.append(
+        f"  searched {report.enumerated} candidates, "
+        f"pruned {report.pruned}, showing top {len(report.ranked)}")
+    for rank, cand in enumerate(report.ranked, start=1):
+        if rank == 1:
+            marker = "chosen"
+        else:
+            delta = cand.cost.total - report.chosen.cost.total
+            marker = f"+{_fmt_seconds(delta)}"
+        lines.append(
+            f"  #{rank}  est={_fmt_seconds(cand.cost.total)}  "
+            f"[{marker}]")
+        lines.append(f"      {cand.describe()}")
+        lines.append(
+            f"      transfer={_fmt_seconds(cand.cost.transfer_seconds)}  "
+            f"kernel={_fmt_seconds(cand.cost.kernel_seconds)}  "
+            f"launch={_fmt_seconds(cand.cost.launch_seconds)}")
+        for pipeline in cand.cost.pipelines:
+            lines.append(
+                f"      pipeline {pipeline.index}  "
+                f"device={pipeline.device}  chunks={pipeline.chunks}  "
+                f"est={_fmt_seconds(pipeline.total)}")
     return "\n".join(lines)

@@ -94,6 +94,18 @@ METRIC_CATALOG: dict[str, tuple[str, tuple[str, ...], str]] = {
     "adamant_adaptive_overlay_factor": (
         "gauge", ("device",),
         "Observed/calibrated cost ratio per device (EWMA)."),
+    "adamant_optimizer_candidates_total": (
+        "counter", ("query",),
+        "Plan candidates priced by the cost-based optimizer."),
+    "adamant_optimizer_pruned_total": (
+        "counter", ("query",),
+        "Priced candidates discarded by beam pruning and ranking."),
+    "adamant_optimizer_chosen_cost_seconds": (
+        "gauge", ("query",),
+        "Predicted cost of the optimizer's chosen plan."),
+    "adamant_optimizer_observed_seconds": (
+        "gauge", ("query",),
+        "Observed makespan of the last optimizer-chosen execution."),
 }
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")

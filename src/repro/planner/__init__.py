@@ -1,11 +1,24 @@
-"""Logical plans and their translation into primitive graphs."""
+"""Logical plans, the shared plan IR, and the cost-based optimizer."""
 
+from repro.planner.adaptive import AdaptivePass
+from repro.planner.cost import (
+    CostOverlayStore,
+    PipelineCost,
+    PlanCost,
+    estimate_graph_seconds,
+    estimate_node_seconds,
+    estimate_plan_seconds,
+)
 from repro.planner.fusion import (
     FUSED_PRIMITIVE,
     FUSIBLE,
     MAX_FUSED_INPUTS,
+    FusionGroup,
+    FusionPass,
     fuse_graph,
+    fusion_groups,
 )
+from repro.planner.ir import DEFAULT_CHUNK_SIZE, Pass, PhysicalPlan
 from repro.planner.logical import (
     AggregateSpec,
     Derive,
@@ -19,7 +32,13 @@ from repro.planner.logical import (
     Select,
     SemiJoin,
 )
+from repro.planner.optimizer import (
+    OptimizerReport,
+    PlanCandidate,
+    PlanOptimizer,
+)
 from repro.planner.placement import (
+    PlacementPass,
     PlacementReport,
     annotate_devices,
     estimate_pipeline_seconds,
@@ -30,14 +49,31 @@ from repro.planner.translate import translate
 __all__ = [
     "translate",
     "fuse_graph",
+    "fusion_groups",
     "FUSED_PRIMITIVE",
     "FUSIBLE",
     "MAX_FUSED_INPUTS",
+    "FusionGroup",
+    "FusionPass",
+    "AdaptivePass",
     "annotate_devices",
     "estimate_pipeline_seconds",
+    "PlacementPass",
     "PlacementReport",
     "estimate_selectivity",
     "conjunction_selectivity",
+    "DEFAULT_CHUNK_SIZE",
+    "Pass",
+    "PhysicalPlan",
+    "CostOverlayStore",
+    "PipelineCost",
+    "PlanCost",
+    "estimate_graph_seconds",
+    "estimate_node_seconds",
+    "estimate_plan_seconds",
+    "OptimizerReport",
+    "PlanCandidate",
+    "PlanOptimizer",
     "LogicalPlan",
     "Scan",
     "Select",

@@ -39,6 +39,7 @@ import numpy as np
 from repro.core.pipelines import Pipeline
 from repro.hardware.clock import Event
 from repro.hardware.costmodel import CostOverlay
+from repro.planner.ir import Pass, PhysicalPlan
 from repro.primitives.values import (
     Bitmap,
     GroupTable,
@@ -50,6 +51,7 @@ from repro.primitives.values import (
 
 __all__ = [
     "AdaptiveController",
+    "AdaptivePass",
     "ChunkSizer",
     "OnlineCalibrator",
     "exact_partial",
@@ -213,6 +215,23 @@ class ChunkSizer:
         return chunk
 
 
+class AdaptivePass(Pass):
+    """Adaptive-execution arming as a pass over the plan IR.
+
+    The mechanisms themselves are runtime companions
+    (:class:`AdaptiveController` rides along with the execution model);
+    the *decision* to arm them is a planning decision, so the pass form
+    records it on the :class:`~repro.planner.ir.PhysicalPlan` like any
+    other.
+    """
+
+    name = "adaptive"
+
+    def run(self, plan: PhysicalPlan) -> PhysicalPlan:
+        plan.adaptive = True
+        return plan
+
+
 class AdaptiveController:
     """Runtime companion of one execution model instance.
 
@@ -241,8 +260,8 @@ class AdaptiveController:
         key = (pipeline.index, device.name)
         if key not in self._per_row:
             # Imported lazily to mirror the context's fusion import: the
-            # core models call in here and placement imports core.
-            from repro.planner.placement import estimate_pipeline_seconds
+            # core models call in here and the cost layer imports core.
+            from repro.planner.cost import estimate_pipeline_seconds
             seconds = estimate_pipeline_seconds(
                 self.ctx.graph, pipeline, self.ctx.catalog, device,
                 data_scale=self.ctx.data_scale,

@@ -1,0 +1,561 @@
+"""Cost estimation for plans — the planner's pricing layer.
+
+Everything that turns "a plan" into "estimated seconds" lives here:
+
+* :func:`estimate_node_seconds` / :func:`estimate_graph_seconds` — the
+  per-node estimates EXPLAIN and ANALYZE render (these historically
+  lived backwards in :mod:`repro.observe.explain`; observe now
+  re-exports them from here);
+* :func:`estimate_pipeline_seconds` — the per-pipeline estimate the
+  greedy placement pass compares devices with (historically in
+  :mod:`repro.planner.placement`, also re-exported);
+* :func:`estimate_plan_seconds` — the *model-aware* pricer the
+  cost-based optimizer ranks whole :class:`~repro.planner.ir.PhysicalPlan`
+  candidates with: it knows that overlapped models hide transfer behind
+  compute, that zero-copy kernels pay interconnect reads per consumer,
+  that chunk count multiplies launch and DMA-setup overhead, and that
+  the split model apportions chunks by its rate proxy and is bounded
+  by its slowest device share;
+* :class:`CostOverlayStore` — per-device-spec
+  :class:`~repro.hardware.costmodel.CostOverlay` corrections persisted
+  across queries and (as JSON) across processes.
+
+All estimators deliberately reuse the same
+:class:`~repro.hardware.costmodel.CostModel` the simulated drivers
+charge, and the same selectivity-decay assumption, so EXPLAIN, the
+placement pass, the optimizer, and the simulation never disagree about
+what is cheap.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+import numpy as np
+
+from repro.core.graph import PrimitiveGraph, PrimitiveNode
+from repro.core.pipelines import Pipeline, split_pipelines
+from repro.devices.base import SimulatedDevice
+from repro.hardware import calibration as cal
+from repro.hardware.costmodel import CostOverlay, TransferDirection
+from repro.storage import Catalog
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.planner.ir import PhysicalPlan
+
+__all__ = [
+    "DEFAULT_SELECTIVITY",
+    "SELECTIVE_PRIMITIVES",
+    "CostOverlayStore",
+    "PipelineCost",
+    "PlanCost",
+    "estimate_graph_seconds",
+    "estimate_node_seconds",
+    "estimate_pipeline_seconds",
+    "estimate_plan_seconds",
+]
+
+#: Primitives that shrink the row domain for everything downstream of
+#: them; the estimators decay cardinality by :data:`DEFAULT_SELECTIVITY`
+#: after each (a deliberate, uniform over-approximation).
+SELECTIVE_PRIMITIVES = ("materialize", "materialize_position",
+                       "hash_probe", "filter_position")
+DEFAULT_SELECTIVITY = 0.5
+
+#: Nominal cardinality for breaker-only pipelines (no scan to size by).
+_NOMINAL_ROWS = 1024
+
+#: Nominal byte width of a routed external input (hash table row).
+_ROUTED_ROW_BYTES = 16
+
+
+def _column_ndv(catalog: Catalog, ref: str) -> int:
+    """Distinct-count statistic of a catalog column, cached on the
+    column object (columns are immutable for a catalog's lifetime)."""
+    column = catalog.column(ref)
+    ndv = getattr(column, "_planner_ndv", None)
+    if ndv is None:
+        ndv = int(np.unique(column.values).size)
+        column._planner_ndv = ndv
+    return ndv
+
+
+def _agg_groups(graph: PrimitiveGraph, node: PrimitiveNode,
+                catalog: Catalog, *, data_scale: int,
+                chunks: int = 1) -> int | None:
+    """Estimated group count a HASH_AGG kernel will see.
+
+    The simulated driver charges hash_agg's atomic-contention curve
+    with the *true* per-chunk group count (it runs the kernel
+    functionally first).  The planner cannot, so it stands in the
+    group-key column's distinct count — divided across chunks, since
+    TPC-H keys are clustered and each chunk sees roughly its slice of
+    the key domain.  Returns None when the aggregation does not read a
+    scan column directly (no statistic to use).
+    """
+    if node.defn.cost_key != "hash_agg" or "groups" in node.cost_params:
+        return None
+    for edge in graph.in_edges(node.node_id):
+        if edge.is_scan:
+            ndv = _column_ndv(catalog, edge.source.ref)
+            return max(1, round(ndv / max(1, chunks))) * data_scale
+    return None
+
+
+def estimate_node_seconds(node: PrimitiveNode, device: SimulatedDevice,
+                          n_elements: int, *,
+                          groups: int | None = None) -> float:
+    """Cost-model estimate for one node at cardinality *n_elements*.
+
+    Regular nodes are charged one launch plus the calibrated kernel
+    time for their cost key; fused MAP/FILTER nodes are charged one
+    launch plus
+    :meth:`~repro.hardware.costmodel.CostModel.fused_kernel_seconds`
+    over their recorded step list.
+
+    Args:
+        groups: Estimated group cardinality for aggregation primitives
+            (see :func:`_agg_groups`); ignored when the node's own
+            ``cost_params`` already pin a group count.
+    """
+    cost = device.cost
+    n = max(1, int(n_elements))
+    cost_params = dict(node.cost_params)
+    fused_steps = cost_params.pop("fused_steps", None)
+    fused_num_args = cost_params.pop("fused_num_args", None)
+    if groups is not None and "groups" not in cost_params:
+        cost_params["groups"] = groups
+    if fused_steps is not None:
+        launch = cost.launch_seconds(int(fused_num_args or 2))
+        return launch + cost.fused_kernel_seconds(fused_steps, n)
+    return cost.launch_seconds(2) + cost.kernel_seconds(
+        node.defn.cost_key, n, **cost_params)
+
+
+def estimate_graph_seconds(graph: PrimitiveGraph, catalog: Catalog,
+                           devices: dict[str, SimulatedDevice],
+                           default_device: str, *, data_scale: int = 1,
+                           ) -> dict[str, float]:
+    """Per-node cost estimates for every node of *graph*.
+
+    Walks each pipeline in order, decaying the row domain after
+    selective primitives, and returns ``{node_id: estimated_seconds}``
+    (kernel + launch only; transfers are pipeline-level and reported
+    separately by EXPLAIN).
+    """
+    estimates: dict[str, float] = {}
+    for pipeline in split_pipelines(graph):
+        if pipeline.scan_refs:
+            rows = catalog.column(pipeline.scan_refs[0]).values.shape[0]
+        else:
+            rows = _NOMINAL_ROWS
+        depth_rows = float(rows * data_scale)
+        for nid in pipeline.node_ids:
+            node = graph.nodes[nid]
+            device = devices[node.device or default_device]
+            estimates[nid] = estimate_node_seconds(
+                node, device, max(1, int(depth_rows)),
+                groups=_agg_groups(graph, node, catalog,
+                                   data_scale=data_scale))
+            if node.primitive in SELECTIVE_PRIMITIVES:
+                depth_rows *= DEFAULT_SELECTIVITY
+    return estimates
+
+
+def estimate_pipeline_seconds(graph: PrimitiveGraph, pipeline: Pipeline,
+                              catalog: Catalog, device: SimulatedDevice,
+                              *, data_scale: int = 1) -> float:
+    """Estimated time to run *pipeline* on *device*.
+
+    Scan transfer at pageable bandwidth + per-primitive kernel time at
+    the (decayed) scan cardinality + launch overheads.  This is the
+    device-comparison estimate the greedy placement pass minimizes.
+    """
+    cost = device.cost
+    scan_bytes = sum(
+        catalog.column(ref).nbytes for ref in pipeline.scan_refs
+    ) * data_scale
+    seconds = cost.transfer_seconds(
+        scan_bytes, direction=TransferDirection.H2D, pinned=False,
+    ) if scan_bytes else 0.0
+
+    if pipeline.scan_refs:
+        rows = catalog.column(pipeline.scan_refs[0]).values.shape[0]
+    else:
+        rows = _NOMINAL_ROWS
+    rows *= data_scale
+
+    depth_rows = float(rows)
+    for nid in pipeline.node_ids:
+        node = graph.nodes[nid]
+        n = max(1, int(depth_rows))
+        cost_params = dict(node.cost_params)
+        fused_steps = cost_params.pop("fused_steps", None)
+        fused_num_args = cost_params.pop("fused_num_args", None)
+        groups = _agg_groups(graph, node, catalog, data_scale=data_scale)
+        if groups is not None and "groups" not in cost_params:
+            cost_params["groups"] = groups
+        if fused_steps is not None:
+            seconds += cost.launch_seconds(int(fused_num_args or 2))
+            seconds += cost.fused_kernel_seconds(fused_steps, n)
+        else:
+            seconds += cost.launch_seconds(2)
+            seconds += cost.kernel_seconds(node.defn.cost_key, n,
+                                           **cost_params)
+        if node.primitive in SELECTIVE_PRIMITIVES:
+            depth_rows *= DEFAULT_SELECTIVITY
+    return seconds
+
+
+# -- whole-plan pricing ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PipelineCost:
+    """One pipeline's share of a plan estimate."""
+
+    index: int
+    device: str
+    chunks: int
+    transfer_seconds: float
+    kernel_seconds: float
+    launch_seconds: float
+    total: float
+
+
+@dataclass(frozen=True)
+class PlanCost:
+    """Model-aware estimate for one :class:`PhysicalPlan` candidate."""
+
+    total: float
+    pipelines: tuple[PipelineCost, ...]
+
+    @property
+    def transfer_seconds(self) -> float:
+        return sum(p.transfer_seconds for p in self.pipelines)
+
+    @property
+    def kernel_seconds(self) -> float:
+        return sum(p.kernel_seconds for p in self.pipelines)
+
+    @property
+    def launch_seconds(self) -> float:
+        return sum(p.launch_seconds for p in self.pipelines)
+
+
+def _pipeline_components(graph: PrimitiveGraph, pipeline: Pipeline,
+                         catalog: Catalog, device: SimulatedDevice, *,
+                         data_scale: int, chunks: int, pinned: bool,
+                         zero_copy: bool,
+                         pinned_penalty: bool = True
+                         ) -> tuple[float, float, float]:
+    """(transfer, kernel, launch) seconds of *pipeline* on *device*.
+
+    Kernel time is total work (chunking does not change it); launch and
+    DMA-setup overheads multiply with the chunk count — exactly the
+    trade the chunk-size ladder explores.
+
+    Args:
+        pinned_penalty: Charge the OpenCL shallow-hash pinned factor
+            (``ExecutionModel.transfer_factor``).  The split model's
+            fan-out loop stages chunks without that factor, so its
+            pricing branch turns this off to stay faithful.
+    """
+    cost = device.cost
+    scan_bytes = sum(
+        catalog.column(ref).nbytes for ref in pipeline.scan_refs
+    ) * data_scale
+
+    transfer = 0.0
+    if scan_bytes and not zero_copy:
+        setup = cost.transfer_seconds(0, direction=TransferDirection.H2D,
+                                      pinned=pinned)
+        per_column = chunks * setup
+        transfer = (len(pipeline.scan_refs) * per_column
+                    + scan_bytes / cost.bandwidth(TransferDirection.H2D,
+                                                  pinned=pinned))
+        if pinned and pinned_penalty:
+            # OpenCL shallow-hash pinned penalty (calibration, Q4).
+            from repro.core.models.base import shallow_hash_pipeline
+            from repro.hardware.specs import Sdk
+            if device.sdk is Sdk.OPENCL and \
+                    shallow_hash_pipeline(graph, pipeline):
+                transfer *= cal.OPENCL_SHALLOW_PINNED_FACTOR
+
+    if pipeline.scan_refs:
+        rows = catalog.column(pipeline.scan_refs[0]).values.shape[0]
+    else:
+        rows = _NOMINAL_ROWS
+    depth_rows = float(rows * data_scale)
+
+    kernel = launch = uma = 0.0
+    for nid in pipeline.node_ids:
+        node = graph.nodes[nid]
+        n = max(1, int(depth_rows))
+        cost_params = dict(node.cost_params)
+        fused_steps = cost_params.pop("fused_steps", None)
+        fused_num_args = cost_params.pop("fused_num_args", None)
+        groups = _agg_groups(graph, node, catalog,
+                             data_scale=data_scale, chunks=chunks)
+        if groups is not None and "groups" not in cost_params:
+            cost_params["groups"] = groups
+        if fused_steps is not None:
+            launch += chunks * cost.launch_seconds(int(fused_num_args or 2))
+            kernel += cost.fused_kernel_seconds(fused_steps, n)
+        else:
+            launch += chunks * cost.launch_seconds(2)
+            kernel += cost.kernel_seconds(node.defn.cost_key, n,
+                                          **cost_params)
+        if zero_copy:
+            # Every kernel consuming scan data pays the interconnect
+            # read itself, on the compute stream (Listing 2).
+            uma_bytes = sum(
+                catalog.column(e.source.ref).nbytes
+                for e in graph.in_edges(nid) if e.is_scan
+            ) * data_scale
+            uma += uma_bytes / (cost.bandwidth(TransferDirection.H2D,
+                                               pinned=True)
+                                * cal.UMA_READ_EFFICIENCY)
+        if node.primitive in SELECTIVE_PRIMITIVES:
+            depth_rows *= DEFAULT_SELECTIVITY
+    return transfer, kernel + uma, launch
+
+
+def estimate_plan_seconds(plan: "PhysicalPlan", catalog: Catalog,
+                          devices: dict[str, SimulatedDevice], *,
+                          default_device: str,
+                          overlay: Mapping[str, float] | None = None,
+                          placement: Mapping[int, str] | None = None,
+                          ) -> PlanCost:
+    """Price one plan candidate, model-awarely, without executing it.
+
+    Args:
+        plan: The candidate (its graph carries fusion state; its model /
+            chunk size / data scale shape the estimate).
+        overlay: Per-device slowdown factors (calibrated corrections);
+            each pipeline's estimate is scaled by its device's factor.
+        placement: Optional ``{pipeline index: device name}`` override,
+            so the optimizer can price alternative placements without
+            mutating the graph's annotations.
+    """
+    from repro.core.models import MODELS  # lazy: core imports planner
+
+    model_cls = MODELS[plan.model]
+    pinned = model_cls.uses_pinned_staging
+    overlapped = model_cls.overlapped
+    zero_copy = model_cls.zero_copy
+    splits = model_cls.splits_chunks
+    chunked = "chunk" in model_cls.tunable
+    physical_chunk = plan.physical_chunk_rows
+    overlay = overlay or {}
+    graph = plan.graph
+
+    split_mode = splits and len(devices) > 1
+    fastest = None
+    proxies: dict[str, float] = {}
+    proxy_total = 0.0
+    if split_mode:
+        rate_fn = getattr(model_cls, "rate_proxy", None)
+        proxies = {
+            name: (rate_fn(devices[name]) if rate_fn is not None
+                   else 1.0)
+            for name in sorted(devices)
+        }
+        proxy_total = sum(proxies.values())
+        fastest = sorted(proxies, key=lambda n: (-proxies[n], n))[0]
+
+    placed: dict[str, str] = {}  # node id -> device (for routing charges)
+    pipeline_costs: list[PipelineCost] = []
+    for pipeline in split_pipelines(graph):
+        if placement is not None and pipeline.index in placement:
+            dev_name = placement[pipeline.index]
+        else:
+            names = sorted({
+                graph.nodes[nid].device or default_device
+                for nid in pipeline.node_ids
+            })
+            dev_name = names[0]
+        physical_rows = (
+            catalog.column(pipeline.scan_refs[0]).values.shape[0]
+            if pipeline.scan_refs else 0
+        )
+        full_input = any(graph.nodes[nid].defn.requires_full_input
+                         for nid in pipeline.node_ids)
+        chunkable = (chunked and pipeline.is_chunkable and not full_input)
+        chunks = (max(1, math.ceil(physical_rows / physical_chunk))
+                  if chunkable else 1)
+
+        if split_mode and chunkable:
+            # Static proportional split: the model hands each device a
+            # share of chunks proportional to its coarse streaming-rate
+            # proxy (SplitChunked.rate_proxy), NOT to its true
+            # per-pipeline cost — devices run their shares concurrently
+            # and the slowest share is the makespan.  Pricing the ideal
+            # harmonic combination here would systematically underprice
+            # the model whenever the proxy misjudges a device.
+            # Replicate the model's *discrete* weighted round-robin
+            # assignment (whole chunks, not fluid shares): with few
+            # chunks the split is lumpy and the over-assigned device
+            # stretches the makespan — the pricer must see that, or it
+            # prefers oversized chunks whose launch savings are dwarfed
+            # by the load imbalance they cause.
+            order = sorted(proxies, key=lambda n: (-proxies[n], n))
+            weights = [max(proxies[n] / proxy_total, 1e-6)
+                       if proxy_total > 0 else 1.0 / len(order)
+                       for n in order]
+            counts = [0] * len(order)
+            for _ in range(chunks):
+                best = min(range(len(order)),
+                           key=lambda i: (counts[i] + 1) / weights[i])
+                counts[best] += 1
+            fraction = {name: counts[i] / chunks
+                        for i, name in enumerate(order)}
+            total = 0.0
+            transfer = kernel = launch = 0.0
+            for name in sorted(devices):
+                t, k, ln = _pipeline_components(
+                    graph, pipeline, catalog, devices[name],
+                    data_scale=plan.data_scale, chunks=chunks,
+                    pinned=pinned, zero_copy=zero_copy,
+                    pinned_penalty=False)
+                seconds = (t + k + ln) * overlay.get(name, 1.0)
+                share = fraction[name]
+                total = max(total, seconds * share)
+                transfer += t * share
+                kernel += k * share
+                launch += ln * share
+            for ext in pipeline.external_inputs:
+                # One broadcast hop per participant beyond the home.
+                nbytes = _NOMINAL_ROWS * plan.data_scale * _ROUTED_ROW_BYTES
+                for name in sorted(devices):
+                    if placed.get(ext) == name:
+                        continue
+                    hop = devices[name].cost.transfer_seconds(
+                        nbytes, direction=TransferDirection.H2D,
+                        pinned=False) * overlay.get(name, 1.0)
+                    total += hop
+                    transfer += hop
+            dev_label = "+".join(sorted(devices))
+            for nid in pipeline.node_ids:
+                placed[nid] = dev_name
+            pipeline_costs.append(PipelineCost(
+                index=pipeline.index, device=dev_label, chunks=chunks,
+                transfer_seconds=transfer, kernel_seconds=kernel,
+                launch_seconds=launch, total=total))
+            continue
+
+        if split_mode:
+            # Non-splittable pipelines run on the fastest participant
+            # (``_run_single`` overrides annotations; split owns
+            # placement), through the chunked loop with its penalty.
+            dev_name = fastest
+        device = devices[dev_name]
+        transfer, kernel, launch = _pipeline_components(
+            graph, pipeline, catalog, device,
+            data_scale=plan.data_scale, chunks=chunks,
+            pinned=pinned, zero_copy=zero_copy)
+        # Routing charge for external inputs built on another device.
+        for ext in pipeline.external_inputs:
+            if placed.get(ext) not in (None, dev_name):
+                nbytes = _NOMINAL_ROWS * plan.data_scale * _ROUTED_ROW_BYTES
+                transfer += device.cost.transfer_seconds(
+                    nbytes, direction=TransferDirection.H2D, pinned=False)
+        if overlapped and chunks > 1:
+            # Dual buffers: transfer of chunk c+1 hides behind compute
+            # of chunk c; the longer stream dominates.
+            total = max(transfer, kernel + launch)
+        else:
+            total = transfer + kernel + launch
+        total *= overlay.get(dev_name, 1.0)
+        for nid in pipeline.node_ids:
+            placed[nid] = dev_name
+        pipeline_costs.append(PipelineCost(
+            index=pipeline.index, device=dev_name, chunks=chunks,
+            transfer_seconds=transfer, kernel_seconds=kernel,
+            launch_seconds=launch, total=total))
+    return PlanCost(total=sum(p.total for p in pipeline_costs),
+                    pipelines=tuple(pipeline_costs))
+
+
+# -- persistent overlay store ------------------------------------------------
+
+
+class CostOverlayStore:
+    """Calibrated :class:`CostOverlay` corrections, keyed by device spec.
+
+    The adaptive controller calibrates within one query; this store
+    persists what was learned *across* queries — and, when given a
+    path, across processes as JSON — so the optimizer prices candidates
+    with corrected device speeds instead of cold priors.  Keys are
+    ``"<spec name>|<sdk>"`` (e.g. ``"RTX 2080 Ti|cuda"``): the
+    correction describes the hardware/SDK pair, not the plug-in name,
+    so a device re-plugged under a new name keeps its calibration.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.overlays: dict[str, CostOverlay] = {}
+        if self.path is not None and self.path.exists():
+            self.load()
+
+    @staticmethod
+    def spec_key(device: SimulatedDevice) -> str:
+        return f"{device.spec.name}|{device.sdk.value}"
+
+    def overlay_for(self, device: SimulatedDevice) -> CostOverlay:
+        key = self.spec_key(device)
+        if key not in self.overlays:
+            self.overlays[key] = CostOverlay()
+        return self.overlays[key]
+
+    def factors(self, devices: Mapping[str, SimulatedDevice]
+                ) -> dict[str, float]:
+        """Per-device-name factors for the estimators (calibrated specs
+        only; unsampled devices price uncorrected)."""
+        out: dict[str, float] = {}
+        for name, device in devices.items():
+            entry = self.overlays.get(self.spec_key(device))
+            if entry is not None and entry.samples >= 1:
+                out[name] = entry.factor
+        return out
+
+    def fold(self, devices: Iterable[SimulatedDevice], *,
+             observed: float, predicted: float) -> None:
+        """Fold one query's (observed, predicted) seconds into the
+        overlays of every device the plan ran on."""
+        for device in devices:
+            self.overlay_for(device).fold(observed, predicted)
+        if self.path is not None:
+            self.save()
+
+    # -- persistence ------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "version": self.VERSION,
+            "overlays": {
+                key: {"alpha": o.alpha, "factor": o.factor,
+                      "samples": o.samples}
+                for key, o in sorted(self.overlays.items())
+            },
+        }, indent=2, sort_keys=True) + "\n"
+
+    def save(self) -> None:
+        assert self.path is not None, "no path bound to this store"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(self.to_json())
+
+    def load(self) -> None:
+        assert self.path is not None, "no path bound to this store"
+        payload = json.loads(self.path.read_text())
+        self.overlays = {
+            key: CostOverlay(alpha=entry["alpha"], factor=entry["factor"],
+                             samples=entry["samples"])
+            for key, entry in payload.get("overlays", {}).items()
+        }

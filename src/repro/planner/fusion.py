@@ -39,10 +39,13 @@ id, so downstream edges and ``mark_output`` declarations are untouched.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.core.graph import PrimitiveGraph, ScanSource
+from repro.planner.ir import Pass, PhysicalPlan
 
-__all__ = ["FUSED_PRIMITIVE", "FUSIBLE", "MAX_FUSED_INPUTS", "fuse_graph"]
+__all__ = ["FUSED_PRIMITIVE", "FUSIBLE", "MAX_FUSED_INPUTS", "FusionGroup",
+           "FusionPass", "fuse_graph", "fusion_groups"]
 
 #: Name of the synthetic primitive a fused chain collapses into.
 FUSED_PRIMITIVE = "fused_map_filter"
@@ -128,12 +131,16 @@ def _plan_group(graph: PrimitiveGraph, members: list[str],
     return plan
 
 
-def fuse_graph(graph: PrimitiveGraph) -> PrimitiveGraph:
-    """Rewrite *graph*, collapsing fusible chains into fused nodes.
+@dataclass(frozen=True)
+class FusionGroup:
+    """One fusible chain: its exit node id and ordered members."""
 
-    Returns a new graph (the input is never mutated); when nothing can be
-    fused, the input graph itself is returned unchanged.
-    """
+    exit_id: str
+    members: tuple[str, ...]
+
+
+def _candidate_plans(graph: PrimitiveGraph) -> dict[str, _FusionPlan]:
+    """All fusible groups of *graph*, keyed by exit node id."""
     order = graph.topological_order()
     outputs = set(graph.outputs)
 
@@ -167,6 +174,39 @@ def fuse_graph(graph: PrimitiveGraph) -> PrimitiveGraph:
         plan = _plan_group(graph, members, merged_up)
         if plan is not None:
             plans[plan.exit_id] = plan
+    return plans
+
+
+def fusion_groups(graph: PrimitiveGraph) -> list[FusionGroup]:
+    """The fusible chains of *graph*, in topological order of their
+    exits — the per-group choice space the optimizer enumerates."""
+    plans = _candidate_plans(graph)
+    order = {nid: i for i, nid in enumerate(graph.topological_order())}
+    return [
+        FusionGroup(exit_id=plan.exit_id, members=tuple(plan.members))
+        for plan in sorted(plans.values(), key=lambda p: order[p.exit_id])
+    ]
+
+
+def fuse_graph(graph: PrimitiveGraph, *,
+               only: Iterable[str] | None = None) -> PrimitiveGraph:
+    """Rewrite *graph*, collapsing fusible chains into fused nodes.
+
+    Returns a new graph (the input is never mutated); when nothing can be
+    fused, the input graph itself is returned unchanged.
+
+    Args:
+        only: Fuse only the groups with these exit node ids (see
+            :func:`fusion_groups`); None fuses every eligible group.
+            The optimizer uses this to price and execute per-group
+            fusion choices.
+    """
+    order = graph.topological_order()
+    plans = _candidate_plans(graph)
+    if only is not None:
+        wanted = set(only)
+        plans = {exit_id: plan for exit_id, plan in plans.items()
+                 if exit_id in wanted}
     if not plans:
         return graph
 
@@ -211,3 +251,28 @@ def fuse_graph(graph: PrimitiveGraph) -> PrimitiveGraph:
     for out in graph.outputs:
         fused.mark_output(out)
     return fused
+
+
+class FusionPass(Pass):
+    """Kernel fusion as a pass over the plan IR.
+
+    Replaces the plan's graph with the fused rewrite and records which
+    group exits actually collapsed in :attr:`PhysicalPlan.fused_groups`.
+    """
+
+    name = "fusion"
+
+    def __init__(self, *, only: Iterable[str] | None = None) -> None:
+        self.only = frozenset(only) if only is not None else None
+
+    def run(self, plan: PhysicalPlan) -> PhysicalPlan:
+        groups = fusion_groups(plan.graph)
+        chosen = [g.exit_id for g in groups
+                  if self.only is None or g.exit_id in self.only]
+        plan.graph = fuse_graph(plan.graph, only=chosen)
+        plan.fuse = True
+        plan.fused_groups = tuple(
+            exit_id for exit_id in chosen
+            if plan.graph.nodes[exit_id].primitive == FUSED_PRIMITIVE
+        )
+        return plan

@@ -8,8 +8,13 @@ that mirrors the simulation's own model — transfer of the pipeline's scan
 volume plus calibrated kernel time per primitive, plus cross-device
 routing for hash tables consumed from other pipelines.
 
-The estimator intentionally reuses :class:`~repro.hardware.costmodel.CostModel`,
-so placement decisions are consistent with what the executor will charge.
+The estimator itself lives in :mod:`repro.planner.cost`
+(:func:`~repro.planner.cost.estimate_pipeline_seconds`, re-exported here
+for compatibility), so placement decisions are consistent with what the
+executor will charge and with what the plan optimizer prices.
+
+:class:`PlacementPass` is the pass-form of :func:`annotate_devices` over
+the shared plan IR (:mod:`repro.planner.ir`).
 """
 
 from __future__ import annotations
@@ -17,18 +22,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.graph import PrimitiveGraph
-from repro.core.pipelines import Pipeline, split_pipelines
+from repro.core.pipelines import split_pipelines
 from repro.devices.base import SimulatedDevice
 from repro.errors import PlanError
 from repro.hardware.costmodel import TransferDirection
+from repro.planner.cost import estimate_pipeline_seconds
+from repro.planner.ir import Pass, PhysicalPlan
 from repro.storage import Catalog
 
-__all__ = ["annotate_devices", "estimate_pipeline_seconds", "PlacementReport"]
-
-#: Primitives whose cost scales with the pipeline's scan cardinality; the
-#: estimator charges each at the pipeline's input size (a deliberate
-#: over-approximation that is uniform across devices).
-_DEFAULT_SELECTIVITY = 0.5
+__all__ = ["PlacementPass", "PlacementReport", "annotate_devices",
+           "estimate_pipeline_seconds"]
 
 
 @dataclass(frozen=True)
@@ -38,48 +41,6 @@ class PlacementReport:
     pipeline_index: int
     chosen: str
     estimates: dict[str, float]
-
-
-def estimate_pipeline_seconds(graph: PrimitiveGraph, pipeline: Pipeline,
-                              catalog: Catalog, device: SimulatedDevice,
-                              *, data_scale: int = 1) -> float:
-    """Estimated time to run *pipeline* on *device*.
-
-    Scan transfer at pageable bandwidth + per-primitive kernel time at the
-    (decayed) scan cardinality + launch overheads.
-    """
-    cost = device.cost
-    scan_bytes = sum(
-        catalog.column(ref).nbytes for ref in pipeline.scan_refs
-    ) * data_scale
-    seconds = cost.transfer_seconds(
-        scan_bytes, direction=TransferDirection.H2D, pinned=False,
-    ) if scan_bytes else 0.0
-
-    if pipeline.scan_refs:
-        rows = catalog.column(pipeline.scan_refs[0]).values.shape[0]
-    else:
-        rows = 1024  # breaker-only pipelines: nominal cardinality
-    rows *= data_scale
-
-    depth_rows = float(rows)
-    for nid in pipeline.node_ids:
-        node = graph.nodes[nid]
-        n = max(1, int(depth_rows))
-        cost_params = dict(node.cost_params)
-        fused_steps = cost_params.pop("fused_steps", None)
-        fused_num_args = cost_params.pop("fused_num_args", None)
-        if fused_steps is not None:
-            seconds += cost.launch_seconds(int(fused_num_args or 2))
-            seconds += cost.fused_kernel_seconds(fused_steps, n)
-        else:
-            seconds += cost.launch_seconds(2)
-            seconds += cost.kernel_seconds(node.defn.cost_key, n,
-                                           **cost_params)
-        if node.primitive in ("materialize", "materialize_position",
-                              "hash_probe", "filter_position"):
-            depth_rows *= _DEFAULT_SELECTIVITY
-    return seconds
 
 
 def annotate_devices(graph: PrimitiveGraph, catalog: Catalog,
@@ -140,3 +101,32 @@ def annotate_devices(graph: PrimitiveGraph, catalog: Catalog,
             estimates=estimates,
         ))
     return reports
+
+
+class PlacementPass(Pass):
+    """Greedy cost-based placement as a pass over the plan IR.
+
+    Annotates the plan's graph in place (the runtime reads device
+    markings off the nodes) and records the per-pipeline decisions in
+    :attr:`PhysicalPlan.placement`.
+    """
+
+    name = "placement"
+
+    def __init__(self, catalog: Catalog,
+                 devices: dict[str, SimulatedDevice], *,
+                 overlay: dict[str, float] | None = None,
+                 from_index: int = 0) -> None:
+        self.catalog = catalog
+        self.devices = devices
+        self.overlay = overlay
+        self.from_index = from_index
+
+    def run(self, plan: PhysicalPlan) -> PhysicalPlan:
+        reports = annotate_devices(
+            plan.graph, self.catalog, self.devices,
+            data_scale=plan.data_scale, overlay=self.overlay,
+            from_index=self.from_index,
+        )
+        plan.placement = tuple(reports)
+        return plan

@@ -75,3 +75,64 @@ class TestCompare:
         assert "DeviceMemoryError" in out  # oaat line
         assert "chunked" in out
         assert code == 0  # chunked models still verified OK
+
+
+class TestOptimize:
+    def test_run_optimize(self, capsys):
+        code = main(["run", "--query", "q6", "--sf", "0.002",
+                     "--chunk-size", "1024", "--optimize"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "oracle match: True" in out
+
+    def test_model_auto_equivalent(self, capsys):
+        code = main(["run", "--query", "q6", "--sf", "0.002",
+                     "--chunk-size", "1024", "--model", "auto"])
+        assert code == 0
+        assert "oracle match: True" in capsys.readouterr().out
+
+    def test_optimize_conflicts_with_model(self, capsys):
+        code = main(["run", "--query", "q6", "--sf", "0.002",
+                     "--optimize", "--model", "oaat"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--optimize conflicts" in err
+
+    def test_concurrent_optimize_conflict(self, capsys):
+        code = main(["concurrent", "--queries", "q6,q6", "--sf", "0.002",
+                     "--optimize", "--model", "chunked"])
+        assert code == 2
+        assert "--optimize conflicts" in capsys.readouterr().err
+
+    def test_concurrent_optimize(self, capsys):
+        code = main(["concurrent", "--queries", "q6,q4", "--sf", "0.002",
+                     "--chunk-size", "1024", "--optimize"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "q6" in out and "q4" in out
+
+    def test_run_overlay_path_persists(self, capsys, tmp_path):
+        path = tmp_path / "overlay.json"
+        code = main(["run", "--query", "q6", "--sf", "0.002",
+                     "--chunk-size", "1024", "--optimize",
+                     "--overlay-path", str(path)])
+        assert code == 0
+        assert path.exists()
+        assert "overlays" in path.read_text()
+
+
+class TestExplainPlans:
+    def test_explain_plans(self, capsys):
+        code = main(["explain", "q6", "--sf", "0.002",
+                     "--chunk-size", "1024", "--plans", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("EXPLAIN PLANS q6")
+        assert "#1" in out
+        assert "chosen" in out
+
+    def test_plans_must_be_positive(self, capsys):
+        code = main(["explain", "q6", "--sf", "0.002",
+                     "--plans", "0"])
+        assert code == 2
+        assert "--plans must be >= 1" in capsys.readouterr().err

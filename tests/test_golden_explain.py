@@ -15,7 +15,7 @@ import pytest
 
 from repro.devices import OpenMPDevice
 from repro.hardware import CPU_I7_8700
-from repro.observe import explain
+from repro.observe import explain, explain_plans
 from repro.tpch.queries import q3, q4, q6
 from tests.conftest import make_executor
 
@@ -48,8 +48,27 @@ SCENARIOS = {
                     dict(model="chunked", chunk_size=1024, adaptive=True)),
 }
 
+# EXPLAIN PLANS snapshots: the optimizer's ranked candidates must be as
+# byte-stable as the single-plan tree.  name -> (builder, factory,
+# explain_plans kwargs).
+PLANS_SCENARIOS = {
+    "plans_q6": (lambda catalog: q6.build(), _single_device,
+                 dict(chunk_size=1024)),
+    "plans_q6_two_device": (lambda catalog: q6.build(), _two_device,
+                            dict(chunk_size=1024)),
+    "plans_q3_two_device": (lambda catalog: q3.build(catalog),
+                            _two_device, dict(chunk_size=1024, top_k=5)),
+}
+
 
 def render(name: str, tiny_catalog) -> str:
+    if name in PLANS_SCENARIOS:
+        build, factory, kwargs = PLANS_SCENARIOS[name]
+        executor = factory()
+        return explain_plans(build(tiny_catalog), tiny_catalog,
+                             devices=executor.devices,
+                             default_device=executor.default_device,
+                             **kwargs)
     build, factory, kwargs = SCENARIOS[name]
     executor = factory()
     return explain(build(tiny_catalog), tiny_catalog,
@@ -57,7 +76,7 @@ def render(name: str, tiny_catalog) -> str:
                    default_device=executor.default_device, **kwargs)
 
 
-@pytest.mark.parametrize("name", sorted(SCENARIOS))
+@pytest.mark.parametrize("name", sorted(SCENARIOS) + sorted(PLANS_SCENARIOS))
 def test_explain_matches_golden(name, tiny_catalog, update_golden):
     text = render(name, tiny_catalog) + "\n"
     path = GOLDEN_DIR / f"{name}.txt"
@@ -74,6 +93,6 @@ def test_explain_matches_golden(name, tiny_catalog, update_golden):
 
 def test_golden_files_have_no_strays():
     """Every checked-in snapshot corresponds to a scenario."""
-    known = {f"{name}.txt" for name in SCENARIOS}
+    known = {f"{name}.txt" for name in (*SCENARIOS, *PLANS_SCENARIOS)}
     present = {p.name for p in GOLDEN_DIR.glob("*.txt")}
     assert present <= known, present - known

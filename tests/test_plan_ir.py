@@ -1,0 +1,186 @@
+"""The shared plan IR: PhysicalPlan, passes, and the layering fix."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.context import ExecutionContext
+from repro.devices import OpenMPDevice
+from repro.errors import ExecutionError
+from repro.hardware import CPU_I7_8700
+from repro.planner.adaptive import AdaptivePass
+from repro.planner.fusion import (
+    FUSED_PRIMITIVE,
+    FusionPass,
+    fusion_groups,
+)
+from repro.planner.ir import DEFAULT_CHUNK_SIZE, Pass, PhysicalPlan
+from repro.planner.placement import PlacementPass
+from repro.tpch.queries import q6, q19
+from tests.conftest import make_executor
+
+
+class TestPhysicalPlan:
+    def test_defaults(self):
+        plan = PhysicalPlan(graph=q6.build())
+        assert plan.model == "chunked"
+        assert plan.chunk_size == DEFAULT_CHUNK_SIZE
+        assert plan.data_scale == 1
+        assert not plan.fuse and not plan.adaptive and not plan.analyze
+        assert plan.fused_groups == () and plan.provenance == ()
+
+    def test_physical_chunk_rows_descales(self):
+        plan = PhysicalPlan(graph=q6.build(), chunk_size=2048,
+                            data_scale=1024)
+        assert plan.physical_chunk_rows == 2
+        tiny = PhysicalPlan(graph=q6.build(), chunk_size=32,
+                            data_scale=1024)
+        assert tiny.physical_chunk_rows == 1  # floor at one row
+
+    def test_replace_keeps_graph_identity(self):
+        plan = PhysicalPlan(graph=q6.build())
+        other = plan.replace(model="oaat", chunk_size=4096)
+        assert other.graph is plan.graph
+        assert other.model == "oaat" and plan.model == "chunked"
+
+    def test_describe_is_deterministic(self):
+        graph = q6.build()
+        plan = PhysicalPlan(graph=graph, model="pipelined",
+                            chunk_size=1024)
+        text = plan.describe("dev0")
+        assert text.startswith("model=pipelined chunk=1024 fuse=off ")
+        assert text == plan.describe("dev0")
+
+    def test_device_map_falls_back_to_default(self):
+        plan = PhysicalPlan(graph=q6.build())
+        mapping = plan.device_map("dev0")
+        assert set(mapping.values()) == {"dev0"}
+
+
+class TestPasses:
+    def test_pass_records_provenance(self):
+        class NopPass(Pass):
+            name = "nop"
+
+            def run(self, plan):
+                return plan
+
+        plan = NopPass()(PhysicalPlan(graph=q6.build()))
+        assert plan.provenance == ("nop",)
+
+    def test_fusion_pass_sets_groups(self):
+        graph = q6.build()
+        groups = fusion_groups(graph)
+        assert groups, "q6 should have a fusible MAP/FILTER chain"
+        plan = FusionPass()(PhysicalPlan(graph=graph))
+        assert plan.fuse
+        assert plan.fused_groups == tuple(g.exit_id for g in groups)
+        assert plan.provenance == ("fusion",)
+        for exit_id in plan.fused_groups:
+            assert plan.graph.nodes[exit_id].primitive == FUSED_PRIMITIVE
+
+    def test_fusion_pass_only_subset(self, tiny_catalog):
+        graph = q19.build(tiny_catalog)
+        groups = fusion_groups(graph)
+        assert len(groups) >= 2, "q19 should expose several groups"
+        keep = groups[0].exit_id
+        plan = FusionPass(only=[keep])(PhysicalPlan(graph=graph))
+        assert plan.fused_groups == (keep,)
+
+    def test_placement_pass_annotates_and_reports(self, tiny_catalog):
+        executor = make_executor(name="gpu0", extra_devices=[
+            ("cpu0", OpenMPDevice, CPU_I7_8700)])
+        graph = q6.build()
+        plan = PlacementPass(tiny_catalog, executor.devices)(
+            PhysicalPlan(graph=graph))
+        assert plan.placement, "placement reports recorded on the plan"
+        assert plan.provenance == ("placement",)
+        for node in graph.nodes.values():
+            assert node.device in executor.devices
+
+    def test_adaptive_pass_arms(self):
+        plan = AdaptivePass()(PhysicalPlan(graph=q6.build()))
+        assert plan.adaptive
+        assert plan.provenance == ("adaptive",)
+
+
+class TestContextPlanBinding:
+    def _machinery(self, catalog):
+        executor = make_executor(name="dev0")
+        return dict(catalog=catalog, devices=executor.devices,
+                    registry=executor.registry,
+                    clock=executor.clock, default_device="dev0")
+
+    def test_plan_and_graph_conflict(self, tiny_catalog):
+        graph = q6.build()
+        with pytest.raises(ExecutionError, match="not both"):
+            ExecutionContext(plan=PhysicalPlan(graph=graph), graph=graph,
+                             **self._machinery(tiny_catalog))
+
+    def test_needs_plan_or_graph(self, tiny_catalog):
+        with pytest.raises(ExecutionError, match="plan= or a graph="):
+            ExecutionContext(**self._machinery(tiny_catalog))
+
+    def test_plan_path_matches_legacy_path(self, tiny_catalog):
+        legacy = ExecutionContext(graph=q6.build(), chunk_size=1024,
+                                  **self._machinery(tiny_catalog))
+        plan = PhysicalPlan(graph=q6.build(), chunk_size=1024)
+        direct = ExecutionContext(plan=plan,
+                                  **self._machinery(tiny_catalog))
+        assert legacy.chunk_size == direct.chunk_size == 1024
+        assert legacy.data_scale == direct.data_scale == 1
+        assert direct.plan is plan
+
+    def test_plan_validated(self, tiny_catalog):
+        bad = PhysicalPlan(graph=q6.build(), chunk_size=33)
+        with pytest.raises(ExecutionError, match="positive multiple"):
+            ExecutionContext(plan=bad, **self._machinery(tiny_catalog))
+
+    def test_context_properties_delegate(self, tiny_catalog):
+        plan = PhysicalPlan(graph=q6.build(), chunk_size=2048,
+                            analyze=True, adaptive=True)
+        ctx = ExecutionContext(plan=plan,
+                               **self._machinery(tiny_catalog))
+        assert ctx.graph is plan.graph
+        assert ctx.chunk_size == 2048
+        assert ctx.analyze and ctx.adaptive
+
+
+class TestLayering:
+    """The estimators live in planner.cost; observe re-exports them."""
+
+    def test_observe_reexports_are_identical(self):
+        import importlib
+
+        import repro.observe as observe
+        from repro.planner import cost
+
+        # the explain() function shadows the submodule attribute
+        explain_mod = importlib.import_module("repro.observe.explain")
+
+        assert observe.estimate_graph_seconds \
+            is cost.estimate_graph_seconds
+        assert observe.estimate_node_seconds \
+            is cost.estimate_node_seconds
+        assert explain_mod.estimate_graph_seconds \
+            is cost.estimate_graph_seconds
+
+    def test_placement_reexport_is_identical(self):
+        from repro.planner import cost, placement
+
+        assert placement.estimate_pipeline_seconds \
+            is cost.estimate_pipeline_seconds
+
+    def test_engine_chunk_size_reexport(self):
+        from repro.engine import engine as engine_mod
+        from repro.planner import ir
+
+        assert engine_mod.DEFAULT_CHUNK_SIZE is ir.DEFAULT_CHUNK_SIZE
+
+    def test_planner_package_exports_ir_surface(self):
+        import repro.planner as planner
+
+        for name in ("PhysicalPlan", "Pass", "PlacementPass",
+                     "FusionPass", "AdaptivePass", "PlanOptimizer",
+                     "CostOverlayStore", "estimate_plan_seconds"):
+            assert hasattr(planner, name), name
