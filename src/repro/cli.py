@@ -132,6 +132,10 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "cache warming up (default 2)")
     concurrent.add_argument("--no-fuse", action="store_true",
                             help="disable the kernel-fusion pass")
+    concurrent.add_argument("--no-subplan-cache", action="store_true",
+                            help="disable the cross-query subplan "
+                                 "result cache (computed intermediates "
+                                 "are re-derived every round)")
     concurrent.add_argument("--adaptive", action="store_true",
                             help="enable adaptive execution (online "
                                  "calibration, dynamic chunk sizing, "
@@ -539,7 +543,8 @@ def cmd_concurrent(args) -> int:
     driver, kind = DRIVERS[args.driver]
     spec = SPECS[args.spec] if args.spec else (
         GPU_RTX_2080_TI if kind == "GPU" else CPU_I7_8700)
-    engine = Engine(faults=plan)
+    engine = Engine(faults=plan,
+                    enable_subplan_cache=not args.no_subplan_cache)
     engine.plug_device("dev0", driver, spec,
                        memory_limit=args.memory_limit)
     if plan is not None and kind == "GPU":
@@ -571,7 +576,7 @@ def cmd_concurrent(args) -> int:
         combined = max(r.stats.makespan for r in results)
         print(f"round {round_no}: combined makespan {combined:.6f} s")
         print(f"  {'query':6s} {'ok':4s} {'makespan':>12s} "
-              f"{'transfer':>12s} {'cache hits':>11s}")
+              f"{'transfer':>12s} {'cache hits':>11s} {'subplan':>8s}")
         for name, result in zip(names, results):
             answer = QUERIES[name].finalize(result, catalog)
             expected = _oracle_for(name, catalog)
@@ -581,7 +586,8 @@ def cmd_concurrent(args) -> int:
             print(f"  {name:6s} {str(ok):4s} "
                   f"{result.stats.makespan:>10.6f} s "
                   f"{result.stats.transfer_bytes:>10d} B "
-                  f"{result.stats.residency_hits:>11d}")
+                  f"{result.stats.residency_hits:>11d} "
+                  f"{result.stats.subplan_cache_hits:>8d}")
         if plan is not None:
             print(f"  recovery: "
                   f"{sum(r.stats.retries for r in results)} retries, "
@@ -591,6 +597,10 @@ def cmd_concurrent(args) -> int:
     for device, stats in engine.residency_stats().items():
         print(f"residency[{device}]: "
               + " ".join(f"{k}={v}" for k, v in stats.items()))
+    if engine.subplan_cache is not None:
+        print("subplan cache: "
+              + " ".join(f"{k}={v}"
+                         for k, v in engine.subplan_stats().items()))
     if args.analyze:
         for result in results:
             if result.profile is not None:

@@ -18,6 +18,11 @@ from repro.task.registry import TaskRegistry
 __all__ = ["ExecutionContext", "ExecutionStats", "QueryContext",
            "QueryResult", "RecoveryLog", "cardinality"]
 
+#: Fused primitive names (mirrors planner.fusion.FUSED_PRIMITIVES, which
+#: cannot be imported here: the planner imports the core layer).
+_FUSED_NODE_PRIMITIVES = ("fused_map_filter", "fused_probe_path",
+                          "fused_filter_agg")
+
 
 def cardinality(value: object) -> int:
     """Input cardinality of an edge value (what a kernel iterates over)."""
@@ -82,6 +87,9 @@ class QueryContext:
             makespans are measured from here, not from zero.
         use_residency: Whether ``load_data`` may serve base-table columns
             from the device residency cache.
+        use_subplan_cache: Whether whole pipelines may be served from
+            (and persisted into) the engine's cross-query subplan
+            result cache.
         recovery: Tally of recovery actions (retries, failovers, OOM
             degradations) taken for the query; sessions share one log
             across model rebuilds.
@@ -92,6 +100,7 @@ class QueryContext:
     memory_budget: int | None = None
     epoch_start: float = 0.0
     use_residency: bool = True
+    use_subplan_cache: bool = True
     recovery: RecoveryLog = field(default_factory=RecoveryLog)
 
 
@@ -116,9 +125,16 @@ class ExecutionStats:
     residency_hits: int = 0
     residency_hit_bytes: int = 0
     #: Host-side kernel launches charged to the query, and the number of
-    #: fused MAP/FILTER nodes in the executed graph (0 without fusion).
+    #: fused nodes in the executed graph (0 without fusion);
+    #: ``fused_probe_nodes`` counts the fused nodes whose step list runs
+    #: through a HASH_PROBE — the probe-side data paths that fused.
     kernels_launched: int = 0
     fused_nodes: int = 0
+    fused_probe_nodes: int = 0
+    #: Pipelines served from the engine's cross-query subplan result
+    #: cache instead of being executed (and the misses that populated it).
+    subplan_cache_hits: int = 0
+    subplan_cache_misses: int = 0
     #: Fault-recovery actions taken for the query: chunk retries after
     #: transient faults, device failovers, OOM degradation restarts, and
     #: the devices quarantined while the query was in flight.
@@ -192,7 +208,8 @@ class ExecutionContext:
                  retry_policy: "RetryPolicy | None" = None,
                  metrics: object | None = None,
                  analyze: bool = False,
-                 adaptive: bool = False) -> None:
+                 adaptive: bool = False,
+                 subplan_cache: object | None = None) -> None:
         if not devices:
             raise ExecutionError("no devices plugged into the executor")
         if default_device not in devices:
@@ -238,6 +255,10 @@ class ExecutionContext:
         #: :class:`~repro.observe.MetricsRegistry` the hub and models
         #: report into (None = no instrumentation).
         self.metrics = metrics
+        #: Engine-scope :class:`~repro.engine.subplan_cache.SubplanCache`
+        #: (None outside engine mode or when the cache is disabled);
+        #: execution models serve and populate whole pipelines from it.
+        self.subplan_cache = subplan_cache
 
     @staticmethod
     def _validate_plan(plan) -> None:
@@ -344,7 +365,13 @@ class ExecutionContext:
                                  if e.category == "launch"
                                  and e.eid > restart_eid),
             fused_nodes=sum(1 for n in self.graph.nodes.values()
-                            if n.primitive == "fused_map_filter"),
+                            if n.primitive in _FUSED_NODE_PRIMITIVES),
+            fused_probe_nodes=sum(
+                1 for n in self.graph.nodes.values()
+                if n.primitive in _FUSED_NODE_PRIMITIVES
+                and any(step["primitive"] == "hash_probe"
+                        for step in n.params.get("steps", ()))
+            ),
             retries=query.recovery.retries,
             failovers=query.recovery.failovers,
             oom_recoveries=query.recovery.oom_recoveries,

@@ -16,9 +16,14 @@ import abc
 
 from repro.core.combine import ChunkPartial, combine_chunk_results
 from repro.core.context import ExecutionContext, QueryResult, cardinality
+from repro.core.fingerprint import subplan_fingerprint
 from repro.core.graph import PrimitiveGraph, PrimitiveNode
 from repro.core.hub import DataTransferHub
-from repro.core.pipelines import Pipeline, split_pipelines
+from repro.core.pipelines import (
+    Pipeline,
+    persisted_node_ids,
+    split_pipelines,
+)
 from repro.devices.base import SimulatedDevice, Task
 from repro.errors import (
     ExecutionError,
@@ -27,6 +32,7 @@ from repro.errors import (
 )
 from repro.hardware import calibration as cal
 from repro.hardware.clock import Event
+from repro.hardware.costmodel import TransferDirection
 from repro.hardware.specs import Sdk
 from repro.primitives.values import value_nbytes
 
@@ -141,6 +147,13 @@ class ExecutionModel(abc.ABC):
         #: keeps concurrent queries' buffers apart in shared devices.
         self.qp = ctx.query.alias_prefix
         self._spans: list[tuple[int, float, float]] = []
+        #: Engine-scope cross-query subplan result cache (None outside
+        #: engine mode or when disabled); pipelines whose persisted
+        #: results are all cached are served instead of executed.
+        self.subplan_cache = (ctx.subplan_cache
+                              if ctx.query.use_subplan_cache else None)
+        self.subplan_hits = 0
+        self.subplan_misses = 0
         #: Adaptive-execution companion (None for static runs).
         self.adaptive = None
         if self.plan.adaptive:
@@ -172,7 +185,9 @@ class ExecutionModel(abc.ABC):
             device.initialize()
         for pipeline in split_pipelines(graph):
             started = self.ctx.clock.now()
-            self.run_pipeline(pipeline)
+            if not self._serve_cached_pipeline(pipeline):
+                self.run_pipeline(pipeline)
+                self._cache_persisted(pipeline)
             self._spans.append((pipeline.index, started,
                                 self.ctx.clock.now()))
             if self.adaptive is not None and len(self.ctx.devices) > 1:
@@ -190,6 +205,8 @@ class ExecutionModel(abc.ABC):
             stats=self.ctx.collect_stats(chunks=self.chunks_processed,
                                          pipeline_spans=self._spans),
         )
+        result.stats.subplan_cache_hits = self.subplan_hits
+        result.stats.subplan_cache_misses = self.subplan_misses
         if self.adaptive is not None:
             result.stats.adaptive_resizes = self.adaptive.resizes
             result.stats.adaptive_steals = self.adaptive.steals
@@ -576,15 +593,109 @@ class ExecutionModel(abc.ABC):
     def _persisted_nodes(self, pipeline: Pipeline) -> set[str]:
         """Nodes whose results outlive the pipeline: breakers, query
         outputs, and producers feeding later pipelines."""
-        graph = self.ctx.graph
-        member = set(pipeline.node_ids)
-        out = set(pipeline.breaker_ids)
-        out |= member & set(graph.outputs)
-        for edge in graph.edges:
-            if not edge.is_scan and edge.source in member \
-                    and edge.target not in member:
-                out.add(edge.source)
-        return out
+        return persisted_node_ids(self.ctx.graph, pipeline)
+
+    # -- cross-query subplan cache ------------------------------------------------
+
+    def _healthy_device_names(self) -> set[str]:
+        return {
+            name for name, device in self.ctx.devices.items()
+            if not (getattr(device, "lost", False)
+                    or getattr(device, "quarantined", False))
+        }
+
+    def _serve_cached_pipeline(self, pipeline: Pipeline) -> bool:
+        """Serve a whole pipeline from the engine's subplan cache.
+
+        When every node result that outlives the pipeline is cached
+        (same subtree fingerprint, catalog version and ``data_scale``,
+        produced on a still-healthy device), the persisted values are
+        installed into device memory for the charge of a
+        device-internal copy — or a host push when the producing device
+        differs — and none of the pipeline's kernels launch.
+        """
+        cache = self.subplan_cache
+        if cache is None:
+            return False
+        graph = self.plan.graph
+        persisted = sorted(self._persisted_nodes(pipeline))
+        if not persisted:
+            return False
+        healthy = self._healthy_device_names()
+        memo: dict[str, tuple] = {}
+        entries = []
+        for nid in persisted:
+            entry = cache.lookup(
+                subplan_fingerprint(graph, nid, _memo=memo),
+                self.ctx.catalog, self.ctx.data_scale,
+                self.ctx.query.query_id, healthy)
+            if entry is None:
+                return False
+            entries.append((nid, entry))
+        for nid, entry in entries:
+            node = graph.nodes[nid]
+            device = self.ctx.device_for(node)
+            alias = f"{self.qp}p{pipeline.index}:n:{nid}"
+            if alias not in device.memory:
+                device.prepare_memory(alias, max(1, entry.nbytes))
+            buffer = device.memory.get(alias)
+            logical = max(1, entry.nbytes) * device.data_scale
+            if logical > buffer.nbytes:
+                device.memory.resize(alias, logical,
+                                     at_time=self.ctx.clock.now())
+            direction = (TransferDirection.D2D
+                         if entry.device == device.name
+                         else TransferDirection.H2D)
+            event = device.clock.schedule(
+                device.transfer_stream,
+                device.cost.transfer_seconds(logical,
+                                             direction=direction),
+                label=f"{device.name}:subplan:{nid}",
+                category="subplan",
+                nbytes=logical,
+                node=nid,
+            )
+            buffer.value = entry.value
+            buffer.ready = event
+            self.node_alias[nid] = alias
+            self.node_device[nid] = device.name
+            for edge in graph.out_edges(nid):
+                edge.device_id = device.name
+        self.subplan_hits += 1
+        if self.ctx.metrics is not None:
+            self.ctx.metrics.inc("adamant_subplan_cache_hits_total")
+        return True
+
+    def _cache_persisted(self, pipeline: Pipeline) -> None:
+        """Snapshot the just-executed pipeline's persisted results into
+        the subplan cache (the populating side of a miss)."""
+        cache = self.subplan_cache
+        if cache is None:
+            return
+        graph = self.plan.graph
+        memo: dict[str, tuple] = {}
+        inserted = False
+        for nid in sorted(self._persisted_nodes(pipeline)):
+            alias = self.node_alias.get(nid)
+            device_name = self.node_device.get(nid)
+            if alias is None or device_name is None:
+                continue
+            device = self.ctx.devices.get(device_name)
+            if device is None or alias not in device.memory:
+                continue
+            value = device._resolve_value(device.memory.get(alias))
+            if value is None:
+                continue
+            entry = cache.insert(
+                subplan_fingerprint(graph, nid, _memo=memo), nid, value,
+                nbytes=value_nbytes(value), device=device_name,
+                catalog=self.ctx.catalog, data_scale=self.ctx.data_scale,
+                query_id=self.ctx.query.query_id)
+            inserted = inserted or entry is not None
+        if inserted:
+            self.subplan_misses += 1
+            if self.ctx.metrics is not None:
+                self.ctx.metrics.inc("adamant_subplan_cache_misses_total")
 
     def _retrieve_outputs(self) -> dict[str, object]:
         outputs: dict[str, object] = {}

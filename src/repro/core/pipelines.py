@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from repro.core.graph import PrimitiveGraph
 from repro.errors import GraphValidationError
 
-__all__ = ["Pipeline", "split_pipelines"]
+__all__ = ["Pipeline", "persisted_node_ids", "split_pipelines"]
 
 
 @dataclass
@@ -44,6 +44,22 @@ class Pipeline:
         """Whether the pipeline streams base data (chunked models only
         chunk scans; breaker-only pipelines run once)."""
         return bool(self.scan_refs)
+
+
+def persisted_node_ids(graph: PrimitiveGraph,
+                       pipeline: Pipeline) -> set[str]:
+    """Nodes whose results outlive *pipeline*: breakers, query outputs,
+    and producers feeding later pipelines.  This is both what chunked
+    execution keeps alive in device memory (Section IV-B) and the unit
+    the engine's subplan result cache stores and serves."""
+    member = set(pipeline.node_ids)
+    out = set(pipeline.breaker_ids)
+    out |= member & set(graph.outputs)
+    for edge in graph.edges:
+        if not edge.is_scan and edge.source in member \
+                and edge.target not in member:
+            out.add(edge.source)
+    return out
 
 
 def split_pipelines(graph: PrimitiveGraph) -> list[Pipeline]:

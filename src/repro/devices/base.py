@@ -524,7 +524,11 @@ class SimulatedDevice(Device):
         )
         logical_n = task.n_elements * self.data_scale
         if fused_steps is not None:
-            duration = self.cost.fused_kernel_seconds(fused_steps, logical_n)
+            # A fused aggregation sink pays the same group-contention
+            # curve as the standalone kernel (groups set above from the
+            # result's true group count).
+            duration = self.cost.fused_kernel_seconds(
+                fused_steps, logical_n, groups=cost_params.get("groups"))
         else:
             cost_key = (task.container.cost_key
                         or definition(task.container.primitive).cost_key)

@@ -17,11 +17,14 @@ See ``docs/architecture.md`` ("Engine & sessions") for the design and
 from repro.engine.engine import DEFAULT_CHUNK_SIZE, Engine, QueryRequest
 from repro.engine.scheduler import DeviceScheduler
 from repro.engine.session import QuerySession
+from repro.engine.subplan_cache import CachedSubplan, SubplanCache
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
+    "CachedSubplan",
     "DeviceScheduler",
     "Engine",
     "QueryRequest",
     "QuerySession",
+    "SubplanCache",
 ]

@@ -33,6 +33,7 @@ from repro.devices.residency import ResidencyCache
 from repro.devices.transforms import register_default_transforms
 from repro.engine.scheduler import DeviceScheduler
 from repro.engine.session import QuerySession
+from repro.engine.subplan_cache import SubplanCache
 from repro.errors import DeviceLostError, ExecutionError, QueryAdmissionError
 from repro.faults import FaultPlan, RetryPolicy
 from repro.hardware.clock import VirtualClock
@@ -83,6 +84,11 @@ class Engine:
         registry: Task registry (defaults to the built-in kernels).
         enable_residency: Attach a cross-query residency cache to every
             plugged device (the compatibility facade turns this off).
+        enable_subplan_cache: Keep an engine-scope
+            :class:`~repro.engine.subplan_cache.SubplanCache` of
+            fingerprinted pipeline results, so warm or concurrent
+            queries sharing a subplan (same subtree, catalog version
+            and ``data_scale``) skip its execution entirely.
         max_concurrent: Session admission limit; exceeding it raises
             :class:`~repro.errors.QueryAdmissionError`.
         faults: Optional :class:`~repro.faults.FaultPlan` armed on every
@@ -99,6 +105,7 @@ class Engine:
 
     def __init__(self, *, registry: TaskRegistry | None = None,
                  enable_residency: bool = True,
+                 enable_subplan_cache: bool = True,
                  max_concurrent: int = 8,
                  faults: FaultPlan | None = None,
                  retry_policy: RetryPolicy | None = None,
@@ -111,6 +118,10 @@ class Engine:
         self.registry = registry if registry is not None else default_registry()
         self.devices: dict[str, SimulatedDevice] = {}
         self.enable_residency = enable_residency
+        #: Cross-query subplan result cache shared by every session
+        #: (None when disabled); see ``docs/architecture.md``.
+        self.subplan_cache = (SubplanCache() if enable_subplan_cache
+                              else None)
         self.max_concurrent = max_concurrent
         self._default_device: str | None = None
         self._sessions: dict[str, QuerySession] = {}
@@ -170,6 +181,10 @@ class Engine:
         except KeyError:
             raise ExecutionError(f"no plugged device {name!r}") from None
         device.release()
+        if self.subplan_cache is not None:
+            # Results computed on the unplugged device are unreachable /
+            # untrusted; later queries must re-derive them.
+            self.subplan_cache.invalidate_device(name)
         if self._default_device == name:
             self._default_device = next(iter(self.devices), None)
 
@@ -261,6 +276,8 @@ class Engine:
     def _close_session(self, session: QuerySession) -> None:
         self._sessions.pop(session.query_id, None)
         self.metrics.set("adamant_sessions_active", len(self._sessions))
+        if self.subplan_cache is not None:
+            self.subplan_cache.release_query(session.query_id)
         for device in self.devices.values():
             if device.residency is not None:
                 device.residency.release_query(session.query_id)
@@ -344,6 +361,7 @@ class Engine:
                 epoch_start=epoch_start, fuse=fuse, analyze=analyze,
                 adaptive=adaptive)
             self._scheduler.run([(session, model_obj, rebuild)])
+            self._sweep_subplan_cache()
             self._record_query(model_obj.name, result=session.result,
                                error=session.error)
             if session.error is not None:
@@ -429,6 +447,7 @@ class Engine:
                         adaptive=request.adaptive)
                     work.append((session, model_obj, rebuild))
                 self._scheduler.run(work)
+                self._sweep_subplan_cache()
                 failure: Exception | None = None
                 for session, model_obj, _ in work:
                     self._record_query(model_obj.name,
@@ -473,7 +492,7 @@ class Engine:
         optimizer = PlanOptimizer(
             catalog, devices, default_device=default,
             data_scale=data_scale, overlay=self.overlay.factors(devices),
-            metrics=self.metrics)
+            metrics=self.metrics, subplan_cache=self.subplan_cache)
         return optimizer.choose(graph, chunk_size=chunk_size,
                                 analyze=analyze, adaptive=adaptive)
 
@@ -505,7 +524,9 @@ class Engine:
                  devices: dict[str, SimulatedDevice] | None = None,
                  query=None, fuse: bool = False, analyze: bool = False,
                  adaptive: bool = False,
-                 plan: PhysicalPlan | None = None) -> ExecutionContext:
+                 plan: PhysicalPlan | None = None,
+                 subplan_cache: SubplanCache | None = None
+                 ) -> ExecutionContext:
         """Build the per-query context around a :class:`PhysicalPlan`.
 
         Without an optimizer-made *plan*, the engine assembles one here
@@ -537,6 +558,7 @@ class Engine:
             query=query,
             retry_policy=self._retry_policy,
             metrics=self.metrics,
+            subplan_cache=subplan_cache,
         )
 
     def _build_model(self, model_cls: type[ExecutionModel],
@@ -551,6 +573,7 @@ class Engine:
             default_device=default_device, data_scale=data_scale,
             query=session.query_context(epoch_start=epoch_start),
             fuse=fuse, analyze=analyze, adaptive=adaptive, plan=plan,
+            subplan_cache=self.subplan_cache,
         )
         return model_cls(ctx)
 
@@ -598,6 +621,7 @@ class Engine:
                 devices=survivors,
                 query=session.query_context(epoch_start=epoch_start),
                 fuse=fuse, analyze=analyze, adaptive=adaptive,
+                subplan_cache=self.subplan_cache,
             )
             return model_cls(ctx)
         return rebuild
@@ -653,6 +677,15 @@ class Engine:
                     "adamant_residency_resident_bytes",
                     device.residency.stats()["resident_bytes"],
                     device=name)
+        if self.subplan_cache is not None:
+            self.metrics.set("adamant_subplan_cached_bytes",
+                             self.subplan_cache.cached_bytes)
+
+    def _sweep_subplan_cache(self) -> None:
+        """Drop subplan-cache entries whose producing device is no
+        longer healthy (lost or quarantined during the last run)."""
+        if self.subplan_cache is not None:
+            self.subplan_cache.sweep(set(self._healthy_devices()))
 
     def residency_stats(self) -> dict[str, dict[str, int]]:
         """Per-device residency-cache statistics (engine mode only)."""
@@ -661,3 +694,10 @@ class Engine:
             for name, device in self.devices.items()
             if device.residency is not None
         }
+
+    def subplan_stats(self) -> dict[str, int]:
+        """Engine-lifetime subplan-cache statistics (empty dict when the
+        cache is disabled)."""
+        if self.subplan_cache is None:
+            return {}
+        return self.subplan_cache.stats()

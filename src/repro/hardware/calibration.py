@@ -37,6 +37,9 @@ __all__ = [
     "PAGEABLE_FACTOR",
     "FUSED_EXTERNAL_STEP_FACTOR",
     "FUSED_INTERNAL_STEP_FACTOR",
+    "FUSED_PROBE_STEP_FACTOR",
+    "FUSED_SINK_STEP_FACTOR",
+    "FUSED_SELECTIVE_DECAY",
     "MATERIALIZE_GPU_PENALTY",
     "HASH_AGG_GROUP_SLOPE",
     "HASH_BUILD_SIZE_SLOPE",
@@ -135,6 +138,30 @@ PAGEABLE_FACTOR = 0.45
 # fully compiled pipelines; Ozawa & Goda ~2x for GPU data-path fusion).
 FUSED_EXTERNAL_STEP_FACTOR = 0.60
 FUSED_INTERNAL_STEP_FACTOR = 0.10
+
+# Data-path fusion through joins and aggregation keeps two step classes
+# that neither factor above fits:
+#
+# * a HASH_PROBE step still random-accesses the (external) hash table —
+#   the dominant cost of the standalone kernel — but skips emitting the
+#   join-pair buffer and the downstream position-list materialization;
+# * an aggregation sink (HASH_AGG / AGG_BLOCK) keeps its atomic /
+#   reduction traffic into the group table but reads its key and value
+#   operands from registers instead of freshly materialized columns.
+#
+# Both stay well above FUSED_INTERNAL_STEP_FACTOR because their memory
+# behaviour is irregular (table lookups, atomics) rather than streaming;
+# the savings are the skipped intermediate buffers, mirroring the
+# probe-path fusion gains Ozawa & Goda report (~2x end to end, far less
+# per probe step).
+FUSED_PROBE_STEP_FACTOR = 0.75
+FUSED_SINK_STEP_FACTOR = 0.85
+
+# Row-domain decay applied after each selective fused step (filters by
+# position, gathers, probes): downstream steps only touch the surviving
+# rows.  Matches the planner's DEFAULT_SELECTIVITY so fused and unfused
+# estimates of the same chain stay comparable.
+FUSED_SELECTIVE_DECAY = 0.5
 
 # Reference devices whose rates are tabulated below; the cost model scales
 # by ``spec.mem_bandwidth / REFERENCE_BANDWIDTH[kind]`` for bandwidth-bound

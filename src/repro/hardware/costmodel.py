@@ -162,24 +162,48 @@ class CostModel:
             raise SchedulingError(f"non-positive rate for {primitive!r}")
         return n_elements / rate
 
-    def fused_kernel_seconds(self, steps, n_elements: int) -> float:
-        """Execution time of one fused MAP/FILTER kernel.
+    def fused_kernel_seconds(self, steps, n_elements: int, *,
+                             groups: int | None = None) -> float:
+        """Execution time of one fused data-path kernel.
 
         Args:
-            steps: ``(cost_key, reads_memory)`` per fused step, in order
-                (built by the fusion pass).  Steps that stream an
-                external operand from device memory are charged
+            steps: ``(cost_key, reads_memory)`` or
+                ``(cost_key, reads_memory, selective)`` per fused step,
+                in order (built by the fusion pass).  Steps that stream
+                an external operand from device memory are charged
                 ``FUSED_EXTERNAL_STEP_FACTOR`` of their standalone time;
                 steps operating purely on register-resident values from
-                earlier steps cost ``FUSED_INTERNAL_STEP_FACTOR``.
-            n_elements: Row domain of the fused pass (all steps are
-                element-wise over the same domain).
+                earlier steps cost ``FUSED_INTERNAL_STEP_FACTOR``; probe
+                and aggregation-sink steps keep their irregular-access
+                cost at ``FUSED_PROBE_STEP_FACTOR`` /
+                ``FUSED_SINK_STEP_FACTOR``.  After a *selective* step
+                (gather, probe, positional filter) the remaining steps
+                only sweep the surviving rows
+                (``FUSED_SELECTIVE_DECAY`` per selective step).
+            n_elements: Row domain at the fused pass's entry.
+            groups: Distinct-group count for an aggregation sink step
+                (feeds the same contention curve as the standalone
+                kernel).
         """
         total = 0.0
-        for cost_key, reads_memory in steps:
-            factor = (cal.FUSED_EXTERNAL_STEP_FACTOR if reads_memory
-                      else cal.FUSED_INTERNAL_STEP_FACTOR)
-            total += self.kernel_seconds(cost_key, n_elements) * factor
+        effective_n = float(max(1, n_elements))
+        for step in steps:
+            cost_key, reads_memory = step[0], step[1]
+            selective = step[2] if len(step) > 2 else False
+            n = max(1, int(effective_n))
+            if cost_key == "hash_probe":
+                factor = cal.FUSED_PROBE_STEP_FACTOR
+                seconds = self.kernel_seconds(cost_key, n)
+            elif cost_key in ("hash_agg", "agg_block"):
+                factor = cal.FUSED_SINK_STEP_FACTOR
+                seconds = self.kernel_seconds(cost_key, n, groups=groups)
+            else:
+                factor = (cal.FUSED_EXTERNAL_STEP_FACTOR if reads_memory
+                          else cal.FUSED_INTERNAL_STEP_FACTOR)
+                seconds = self.kernel_seconds(cost_key, n)
+            total += seconds * factor
+            if selective:
+                effective_n *= cal.FUSED_SELECTIVE_DECAY
         return total
 
     def throughput(self, primitive: str, n_elements: int, *,

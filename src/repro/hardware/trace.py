@@ -67,7 +67,7 @@ def counters(clock: VirtualClock) -> dict[str, int]:
         "kernels_launched": len(launches),
         "fused_kernels_launched": sum(
             1 for e in launches
-            if (e.label or "").endswith(":fused_map_filter")),
+            if (e.label or "").rsplit(":", 1)[-1].startswith("fused_")),
         "retries": sum(1 for e in clock.events
                        if e.category == "backoff"),
         "recovery_actions": sum(1 for e in clock.events

@@ -35,7 +35,7 @@ from repro.planner.cost import (  # noqa: F401  (re-exported)
     estimate_graph_seconds,
     estimate_node_seconds,
 )
-from repro.planner.fusion import FUSED_PRIMITIVE
+from repro.planner.fusion import FUSED_PRIMITIVES
 from repro.planner.ir import DEFAULT_CHUNK_SIZE as _DEFAULT_CHUNK_SIZE
 from repro.storage import Catalog
 
@@ -58,23 +58,25 @@ def _fmt_bytes(nbytes: int) -> str:
 
 
 def _node_line(node: PrimitiveNode, device: SimulatedDevice,
-               est: float) -> str:
-    if node.primitive == FUSED_PRIMITIVE:
+               est: float, cached: bool = False) -> str:
+    if node.primitive in FUSED_PRIMITIVES:
         steps = [step["primitive"] for step in node.params.get("steps", [])]
-        primitive = f"{FUSED_PRIMITIVE}[{'+'.join(steps)}]"
+        primitive = f"{node.primitive}[{'+'.join(steps)}]"
     else:
         primitive = node.primitive
     variant = node.variant or device.variant_key
     breaker = "  *breaker*" if node.is_breaker else ""
+    marker = "  [cached]" if cached else ""
     return (f"    {node.node_id}: {primitive}  variant={variant}  "
-            f"est={_fmt_seconds(est)}{breaker}")
+            f"est={_fmt_seconds(est)}{breaker}{marker}")
 
 
 def explain(graph: PrimitiveGraph, catalog: Catalog, *,
             devices: dict[str, SimulatedDevice],
             default_device: str | None = None, model: str = "chunked",
             chunk_size: int = _DEFAULT_CHUNK_SIZE, data_scale: int = 1,
-            fuse: bool = False, adaptive: bool = False) -> str:
+            fuse: bool = False, adaptive: bool = False,
+            subplan_cache: object | None = None) -> str:
     """Render the execution plan for *graph* as an annotated tree.
 
     Args:
@@ -94,6 +96,11 @@ def explain(graph: PrimitiveGraph, catalog: Catalog, *,
         adaptive: Annotate the plan with the adaptive-execution actions
             ``run(..., adaptive=True)`` would arm (dynamic chunk
             sizing, split-model work stealing, re-placement).
+        subplan_cache: Optional engine
+            :class:`~repro.engine.subplan_cache.SubplanCache`; nodes
+            whose subtree result is already cached (and would be served
+            instead of executed) are marked ``[cached]``.  Probing is
+            read-only — rendering never touches hit/miss counters.
     """
     if not devices:
         raise ExecutionError("no devices to explain against")
@@ -110,6 +117,17 @@ def explain(graph: PrimitiveGraph, catalog: Catalog, *,
     estimates = estimate_graph_seconds(
         graph, catalog, devices, default_device, data_scale=data_scale)
     physical_chunk = max(1, chunk_size // data_scale)
+
+    cached_nodes: set[str] = set()
+    if subplan_cache is not None and len(subplan_cache):
+        from repro.core.fingerprint import subplan_fingerprint
+        healthy = set(devices)
+        memo: dict = {}
+        for nid in graph.nodes:
+            if subplan_cache.peek(
+                    subplan_fingerprint(graph, nid, _memo=memo),
+                    catalog, data_scale, healthy) is not None:
+                cached_nodes.add(nid)
 
     lines = [
         f"EXPLAIN {graph.name}",
@@ -171,7 +189,7 @@ def explain(graph: PrimitiveGraph, catalog: Catalog, *,
             node = graph.nodes[nid]
             lines.append(_node_line(
                 node, devices[node.device or default_device],
-                estimates[nid]))
+                estimates[nid], cached=nid in cached_nodes))
     lines.append(f"  estimated total: {_fmt_seconds(total)}")
     return "\n".join(lines)
 

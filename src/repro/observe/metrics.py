@@ -52,6 +52,15 @@ METRIC_CATALOG: dict[str, tuple[str, tuple[str, ...], str]] = {
     "adamant_residency_hit_bytes_total": (
         "counter", ("device",),
         "H2D bytes avoided by residency-cache hits."),
+    "adamant_subplan_cache_hits_total": (
+        "counter", (),
+        "Pipelines served from the cross-query subplan result cache."),
+    "adamant_subplan_cache_misses_total": (
+        "counter", (),
+        "Executed pipelines that populated the subplan result cache."),
+    "adamant_subplan_cached_bytes": (
+        "gauge", (),
+        "Bytes held by the engine's subplan result cache."),
     "adamant_retries_total": (
         "counter", ("device", "primitive"),
         "Chunk-level kernel retries after transient device faults."),

@@ -10,9 +10,14 @@ from repro.planner.cost import (
     estimate_plan_seconds,
 )
 from repro.planner.fusion import (
+    AGG_SINKS,
+    FUSED_AGG_PRIMITIVE,
     FUSED_PRIMITIVE,
+    FUSED_PRIMITIVES,
+    FUSED_PROBE_PRIMITIVE,
     FUSIBLE,
     MAX_FUSED_INPUTS,
+    PROBE_FUSIBLE,
     FusionGroup,
     FusionPass,
     fuse_graph,
@@ -51,7 +56,12 @@ __all__ = [
     "fuse_graph",
     "fusion_groups",
     "FUSED_PRIMITIVE",
+    "FUSED_PROBE_PRIMITIVE",
+    "FUSED_AGG_PRIMITIVE",
+    "FUSED_PRIMITIVES",
     "FUSIBLE",
+    "PROBE_FUSIBLE",
+    "AGG_SINKS",
     "MAX_FUSED_INPUTS",
     "FusionGroup",
     "FusionPass",

@@ -84,6 +84,30 @@ def _column_ndv(catalog: Catalog, ref: str) -> int:
     return ndv
 
 
+def _fused_group_key_slot(node: PrimitiveNode) -> int | None:
+    """External input slot the fused aggregation sink's group key traces
+    back to, or None when the key is synthesized inside the group (e.g.
+    gathered from a hash-table payload — no column statistic applies).
+    """
+    steps = node.params.get("steps") or ()
+    if not steps or steps[-1]["primitive"] != "hash_agg":
+        return None
+    by_id = {step["id"]: step for step in steps}
+    ref = steps[-1]["args"][0] if steps[-1]["args"] else None
+    for _ in range(len(steps) + 1):
+        if ref is None:
+            return None
+        kind, key = ref
+        if kind == "input":
+            return int(key)
+        step = by_id.get(key)
+        if step is None or step["primitive"] == "gather_payload" \
+                or not step["args"]:
+            return None
+        ref = step["args"][0]
+    return None
+
+
 def _agg_groups(graph: PrimitiveGraph, node: PrimitiveNode,
                 catalog: Catalog, *, data_scale: int,
                 chunks: int = 1) -> int | None:
@@ -95,15 +119,45 @@ def _agg_groups(graph: PrimitiveGraph, node: PrimitiveNode,
     group-key column's distinct count — divided across chunks, since
     TPC-H keys are clustered and each chunk sees roughly its slice of
     the key domain.  Returns None when the aggregation does not read a
-    scan column directly (no statistic to use).
+    scan column directly (no statistic to use).  For a fused
+    aggregation sink the key column is traced through the fused step
+    list back to the external scan it gathers from.
     """
     if node.defn.cost_key != "hash_agg" or "groups" in node.cost_params:
+        return None
+    if node.cost_params.get("fused_steps"):
+        slot = _fused_group_key_slot(node)
+        if slot is None:
+            return None
+        for edge in graph.in_edges(node.node_id):
+            if edge.input_index == slot and edge.is_scan:
+                ndv = _column_ndv(catalog, edge.source.ref)
+                return max(1, round(ndv / max(1, chunks))) * data_scale
         return None
     for edge in graph.in_edges(node.node_id):
         if edge.is_scan:
             ndv = _column_ndv(catalog, edge.source.ref)
             return max(1, round(ndv / max(1, chunks))) * data_scale
     return None
+
+
+def _node_decay(node: PrimitiveNode) -> float:
+    """Row-domain decay a node applies to everything downstream.
+
+    Standalone selective primitives decay by
+    :data:`DEFAULT_SELECTIVITY`; a fused node compounds one decay per
+    selective step it absorbed (the fused kernel's own internal sweep
+    decay is priced inside ``fused_kernel_seconds`` — this is the decay
+    its *successors* see).
+    """
+    if node.primitive in SELECTIVE_PRIMITIVES:
+        return DEFAULT_SELECTIVITY
+    fused_steps = node.cost_params.get("fused_steps")
+    if fused_steps:
+        selective = sum(1 for step in fused_steps
+                        if len(step) > 2 and step[2])
+        return DEFAULT_SELECTIVITY ** selective
+    return 1.0
 
 
 def estimate_node_seconds(node: PrimitiveNode, device: SimulatedDevice,
@@ -131,7 +185,8 @@ def estimate_node_seconds(node: PrimitiveNode, device: SimulatedDevice,
         cost_params["groups"] = groups
     if fused_steps is not None:
         launch = cost.launch_seconds(int(fused_num_args or 2))
-        return launch + cost.fused_kernel_seconds(fused_steps, n)
+        return launch + cost.fused_kernel_seconds(
+            fused_steps, n, groups=cost_params.get("groups"))
     return cost.launch_seconds(2) + cost.kernel_seconds(
         node.defn.cost_key, n, **cost_params)
 
@@ -161,8 +216,7 @@ def estimate_graph_seconds(graph: PrimitiveGraph, catalog: Catalog,
                 node, device, max(1, int(depth_rows)),
                 groups=_agg_groups(graph, node, catalog,
                                    data_scale=data_scale))
-            if node.primitive in SELECTIVE_PRIMITIVES:
-                depth_rows *= DEFAULT_SELECTIVITY
+            depth_rows *= _node_decay(node)
     return estimates
 
 
@@ -201,13 +255,13 @@ def estimate_pipeline_seconds(graph: PrimitiveGraph, pipeline: Pipeline,
             cost_params["groups"] = groups
         if fused_steps is not None:
             seconds += cost.launch_seconds(int(fused_num_args or 2))
-            seconds += cost.fused_kernel_seconds(fused_steps, n)
+            seconds += cost.fused_kernel_seconds(
+                fused_steps, n, groups=cost_params.get("groups"))
         else:
             seconds += cost.launch_seconds(2)
             seconds += cost.kernel_seconds(node.defn.cost_key, n,
                                            **cost_params)
-        if node.primitive in SELECTIVE_PRIMITIVES:
-            depth_rows *= DEFAULT_SELECTIVITY
+        depth_rows *= _node_decay(node)
     return seconds
 
 
@@ -305,7 +359,8 @@ def _pipeline_components(graph: PrimitiveGraph, pipeline: Pipeline,
             cost_params["groups"] = groups
         if fused_steps is not None:
             launch += chunks * cost.launch_seconds(int(fused_num_args or 2))
-            kernel += cost.fused_kernel_seconds(fused_steps, n)
+            kernel += cost.fused_kernel_seconds(
+                fused_steps, n, groups=cost_params.get("groups"))
         else:
             launch += chunks * cost.launch_seconds(2)
             kernel += cost.kernel_seconds(node.defn.cost_key, n,
@@ -320,8 +375,7 @@ def _pipeline_components(graph: PrimitiveGraph, pipeline: Pipeline,
             uma += uma_bytes / (cost.bandwidth(TransferDirection.H2D,
                                                pinned=True)
                                 * cal.UMA_READ_EFFICIENCY)
-        if node.primitive in SELECTIVE_PRIMITIVES:
-            depth_rows *= DEFAULT_SELECTIVITY
+        depth_rows *= _node_decay(node)
     return transfer, kernel + uma, launch
 
 

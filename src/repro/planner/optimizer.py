@@ -32,15 +32,17 @@ byte-identical to running the same knobs by hand.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from itertools import combinations
 from typing import TYPE_CHECKING, Mapping
 
+from repro.core.fingerprint import subplan_fingerprint
 from repro.core.graph import PrimitiveGraph
 from repro.core.models import MODELS
-from repro.core.pipelines import split_pipelines
+from repro.core.pipelines import persisted_node_ids, split_pipelines
 from repro.devices.base import SimulatedDevice
 from repro.errors import PlanError
+from repro.hardware.costmodel import TransferDirection
 from repro.planner.cost import PlanCost, estimate_plan_seconds
 from repro.planner.fusion import fuse_graph, fusion_groups
 from repro.planner.ir import DEFAULT_CHUNK_SIZE, PhysicalPlan
@@ -147,6 +149,12 @@ class PlanOptimizer:
         beam_width: Survivors kept between stages.
         metrics: Optional registry; the search publishes the
             ``adamant_optimizer_*`` series into it.
+        subplan_cache: Optional engine
+            :class:`~repro.engine.subplan_cache.SubplanCache`.  When
+            set, pipelines whose persisted subplans are all already
+            cached are priced at their serve-transfer cost instead of
+            full execution, so the search prefers plan shapes that
+            reuse what prior queries materialized.
     """
 
     def __init__(self, catalog: Catalog,
@@ -155,7 +163,8 @@ class PlanOptimizer:
                  overlay: Mapping[str, float] | None = None,
                  models: list[str] | None = None,
                  beam_width: int = DEFAULT_BEAM_WIDTH,
-                 metrics: "MetricsRegistry | None" = None) -> None:
+                 metrics: "MetricsRegistry | None" = None,
+                 subplan_cache: object | None = None) -> None:
         if not devices:
             raise PlanError("no devices to optimize for")
         self.catalog = catalog
@@ -177,6 +186,7 @@ class PlanOptimizer:
             raise PlanError(f"beam_width must be >= 1, got {beam_width}")
         self.beam_width = beam_width
         self.metrics = metrics
+        self.subplan_cache = subplan_cache
 
     # -- search space ------------------------------------------------------
 
@@ -257,10 +267,69 @@ class PlanOptimizer:
         stub = PhysicalPlan(graph=graph, model=model,
                             chunk_size=chunk_size,
                             data_scale=self.data_scale)
-        return estimate_plan_seconds(
+        cost = estimate_plan_seconds(
             stub, self.catalog, self.devices,
             default_device=self.default_device,
             overlay=self.overlay or None, placement=placement)
+        return self._discount_cached(graph, cost)
+
+    def _discount_cached(self, graph: PrimitiveGraph,
+                         cost: PlanCost) -> PlanCost:
+        """Re-price pipelines the subplan cache would serve outright.
+
+        A pipeline whose persisted nodes all have live cache entries
+        never executes — the model installs the cached values and pays
+        only their transfer (see ``_serve_cached_pipeline``).  Pricing
+        must see the same thing, or the search keeps paying full
+        freight for work a prior query already did.  ``peek`` is
+        read-only: pricing probes never pin entries or skew hit/miss
+        accounting.
+        """
+        cache = self.subplan_cache
+        if cache is None or not len(cache):
+            return cost
+        healthy = set(self.devices)
+        memo: dict = {}
+        by_index = {p.index: p for p in split_pipelines(graph)}
+        priced: list = []
+        changed = False
+        for pc in cost.pipelines:
+            pipeline = by_index.get(pc.index)
+            persisted = (sorted(persisted_node_ids(graph, pipeline))
+                         if pipeline is not None else [])
+            entries = []
+            for nid in persisted:
+                entry = cache.peek(
+                    subplan_fingerprint(graph, nid, _memo=memo),
+                    self.catalog, self.data_scale, healthy)
+                if entry is None:
+                    entries = None
+                    break
+                entries.append(entry)
+            if not entries:
+                priced.append(pc)
+                continue
+            # Split-mode labels join participants ("cpu+gpu"); charge
+            # the serve transfer on whichever single device we know.
+            device = self.devices.get(pc.device,
+                                      self.devices[self.default_device])
+            transfer = 0.0
+            for entry in entries:
+                logical = max(1, entry.nbytes) * self.data_scale
+                direction = (TransferDirection.D2D
+                             if entry.device == pc.device
+                             else TransferDirection.H2D)
+                transfer += device.cost.transfer_seconds(
+                    logical, direction=direction)
+            transfer *= self.overlay.get(pc.device, 1.0)
+            priced.append(replace(
+                pc, chunks=1, transfer_seconds=transfer,
+                kernel_seconds=0.0, launch_seconds=0.0, total=transfer))
+            changed = True
+        if not changed:
+            return cost
+        return PlanCost(total=sum(p.total for p in priced),
+                        pipelines=tuple(priced))
 
     def _supports(self, model: str, graph: PrimitiveGraph,
                   chunk_size: int) -> bool:

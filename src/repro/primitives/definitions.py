@@ -167,8 +167,12 @@ def _fused_output(n: int, params: dict) -> int:
     exit_primitive = steps[-1]["primitive"] if steps else "map"
     if exit_primitive in ("filter_bitmap", "bitmap_and", "bitmap_or"):
         return _bitmap(n, params)
-    if exit_primitive == "filter_position":
+    if exit_primitive in ("filter_position", "join_side", "hash_probe"):
         return _selected(n, params)
+    if exit_primitive == "hash_agg":
+        return _groups(n, params)
+    if exit_primitive == "agg_block":
+        return _scalar(n, params)
     return _full(n, params)
 
 
@@ -181,6 +185,34 @@ register_primitive(PrimitiveDefinition(
     output=S.GENERIC,
     pipeline_breaker=False,
     cost_key="map",  # nominal; real charge comes from the fused steps
+    estimate_output_bytes=_fused_output,
+))
+
+register_primitive(PrimitiveDefinition(
+    name="fused_probe_path",
+    # A probe-side join data path: FILTER/MAP steps feeding HASH_PROBE
+    # plus the gathers/maps around it, evaluated without materializing
+    # intermediate position lists.  Input wiring mirrors
+    # fused_map_filter: one deduplicated edge per distinct external.
+    inputs=(S.GENERIC,) * 16,
+    optional_inputs=15,
+    output=S.GENERIC,
+    pipeline_breaker=False,
+    cost_key="hash_probe",  # nominal; real charge comes from the fused steps
+    estimate_output_bytes=_fused_output,
+))
+
+register_primitive(PrimitiveDefinition(
+    name="fused_filter_agg",
+    # A chain ending in an aggregation sink (HASH_AGG / AGG_BLOCK).  The
+    # sink is a pipeline breaker, so the fused node is one too: the
+    # runtime persists its (partial) group table per chunk and combines
+    # partials exactly as it would for the unfused sink.
+    inputs=(S.GENERIC,) * 16,
+    optional_inputs=15,
+    output=S.GENERIC,
+    pipeline_breaker=True,
+    cost_key="hash_agg",  # nominal; real charge comes from the fused steps
     estimate_output_bytes=_fused_output,
 ))
 

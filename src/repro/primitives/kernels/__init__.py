@@ -7,7 +7,11 @@ from repro.primitives.kernels.filter import (
     filter_bitmap,
     filter_position,
 )
-from repro.primitives.kernels.fused import fused_map_filter
+from repro.primitives.kernels.fused import (
+    fused_filter_agg,
+    fused_map_filter,
+    fused_probe_path,
+)
 from repro.primitives.kernels.hash_ops import (
     gather_payload,
     group_keys,
@@ -36,6 +40,8 @@ __all__ = [
     "bitmap_and",
     "bitmap_or",
     "fused_map_filter",
+    "fused_probe_path",
+    "fused_filter_agg",
     "materialize",
     "materialize_position",
     "agg_block",

@@ -1,15 +1,30 @@
-"""FUSED_MAP_FILTER: one pass evaluating a whole MAP/FILTER chain.
+"""Fused data-path kernels: one pass evaluating a whole primitive chain.
 
 The fusion pass (:mod:`repro.planner.fusion`) collapses chains of
-element-wise primitives into a single node whose ``steps`` parameter is
-the ordered list of original invocations.  This kernel evaluates them in
-one sweep over the chunk: interior filter results stay plain boolean
-masks and map results stay register-resident arrays — no packed
-:class:`~repro.primitives.values.Bitmap` or intermediate column is
-materialized between steps.  Only the exit step's value is converted to
-the edge type the unfused plan would have produced, so downstream
+primitives into a single node whose ``steps`` parameter is the ordered
+list of original invocations.  The kernels here evaluate them in one
+sweep over the chunk: interior filter results stay plain boolean masks,
+map results stay register-resident arrays, and probe-side gathers index
+directly with the surviving positions — no packed
+:class:`~repro.primitives.values.Bitmap` or intermediate position list
+is materialized between steps.  Only the exit step's value is converted
+to the edge type the unfused plan would have produced, so downstream
 primitives (and query results) are byte-identical with and without
 fusion.
+
+Three entry points share the interpreter, split by what the chain
+contains (the fusion pass classifies each group):
+
+``fused_map_filter``
+    Element-wise MAP/FILTER/bitmap chains (PR 2 behaviour, unchanged).
+``fused_probe_path``
+    Chains that run through a HASH_PROBE — the probe-side data path of a
+    join, including the gathers and maps around it.
+``fused_filter_agg``
+    Chains that terminate in an aggregation sink (HASH_AGG / AGG_BLOCK).
+    The sink's ``fn`` is mirrored into the node params so chunked
+    execution merges the per-chunk partials exactly as it would for the
+    unfused sink.
 
 Step format (built by the fusion pass)::
 
@@ -24,10 +39,12 @@ import numpy as np
 
 from repro.errors import SignatureError
 from repro.primitives.kernels.filter import _mask
+from repro.primitives.kernels.hash_ops import gather_payload, hash_agg, hash_probe
 from repro.primitives.kernels.map_ops import map_kernel
+from repro.primitives.kernels.reduce import agg_block
 from repro.primitives.values import Bitmap, PositionList
 
-__all__ = ["fused_map_filter"]
+__all__ = ["fused_map_filter", "fused_probe_path", "fused_filter_agg"]
 
 #: Exit primitives whose fused result is packed into a Bitmap.
 _BITMAP_EXITS = ("filter_bitmap", "bitmap_and", "bitmap_or")
@@ -49,10 +66,34 @@ def _as_bool_mask(value: object) -> np.ndarray:
     )
 
 
-def fused_map_filter(*inputs: object, steps: list[dict]) -> object:
+def _gather(column: np.ndarray, selection: object) -> np.ndarray:
+    """Gather *column* rows by any selection carrier.
+
+    Inside a fused group the selection stays whatever the producer step
+    left behind — a boolean mask from a filter, raw positions from a
+    join side — while an external producer may hand in the packed edge
+    value.  All spellings select the same rows, so the gathered column
+    is byte-identical to the unfused MATERIALIZE / MATERIALIZE_POSITION
+    result.
+    """
+    if isinstance(selection, Bitmap):
+        return column[selection.to_mask()]
+    if isinstance(selection, PositionList):
+        return column[selection.positions]
+    if isinstance(selection, np.ndarray):
+        if selection.dtype == np.bool_:
+            return column[selection]
+        return column[selection.astype(np.int64, copy=False)]
+    raise SignatureError(
+        f"fused gather expects a Bitmap, PositionList or ndarray "
+        f"selection, got {type(selection).__name__}"
+    )
+
+
+def _run_steps(inputs: tuple[object, ...], steps: list[dict]) -> object:
     """Evaluate *steps* in order over the chunk's *inputs* in one pass."""
     if not steps:
-        raise SignatureError("fused_map_filter needs at least one step")
+        raise SignatureError("fused kernel needs at least one step")
     produced: dict[str, object] = {}
 
     def resolve(ref: tuple[str, object]) -> object:
@@ -80,6 +121,25 @@ def fused_map_filter(*inputs: object, steps: list[dict]) -> object:
             value = _as_bool_mask(args[0]) & _as_bool_mask(args[1])
         elif primitive == "bitmap_or":
             value = _as_bool_mask(args[0]) | _as_bool_mask(args[1])
+        elif primitive in ("materialize", "materialize_position"):
+            value = _gather(args[0], args[1])
+        elif primitive == "hash_probe":
+            value = hash_probe(args[0], args[1], **params)
+        elif primitive == "join_side":
+            # Keep the raw positions register-resident; downstream
+            # gathers index them directly.
+            side = params.get("side", "left")
+            if side not in ("left", "right"):
+                raise SignatureError(
+                    f"join side must be 'left' or 'right', not {side!r}"
+                )
+            value = args[0].left if side == "left" else args[0].right
+        elif primitive == "gather_payload":
+            value = gather_payload(args[0], args[1], **params)
+        elif primitive == "hash_agg":
+            value = hash_agg(*args, **params)
+        elif primitive == "agg_block":
+            value = agg_block(args[0], **params)
         else:
             raise SignatureError(
                 f"primitive {primitive!r} is not fusible"
@@ -89,6 +149,35 @@ def fused_map_filter(*inputs: object, steps: list[dict]) -> object:
     exit_primitive = steps[-1]["primitive"]
     if exit_primitive in _BITMAP_EXITS:
         return Bitmap.from_mask(_as_bool_mask(value))
-    if exit_primitive == "filter_position":
-        return PositionList(np.nonzero(value)[0])
+    if exit_primitive in ("filter_position", "join_side"):
+        if isinstance(value, np.ndarray) and value.dtype == np.bool_:
+            return PositionList(np.nonzero(value)[0])
+        return PositionList(np.asarray(value, dtype=np.int64))
     return value
+
+
+def fused_map_filter(*inputs: object, steps: list[dict]) -> object:
+    """Evaluate an element-wise MAP/FILTER chain in one pass."""
+    return _run_steps(inputs, steps)
+
+
+def fused_probe_path(*inputs: object, steps: list[dict]) -> object:
+    """Evaluate a probe-side join data path in one pass.
+
+    The chain may run FILTER/MAP steps into a HASH_PROBE and carry the
+    surviving rows through further gathers/maps without materializing
+    the intermediate position lists.
+    """
+    return _run_steps(inputs, steps)
+
+
+def fused_filter_agg(*inputs: object, steps: list[dict],
+                     fn: str = "sum") -> object:
+    """Evaluate a chain terminating in an aggregation sink in one pass.
+
+    *fn* mirrors the sink step's aggregate function (also present in the
+    step params); it rides in the node params so chunked execution
+    combines per-chunk partials exactly as for the unfused sink.
+    """
+    del fn  # consumed by the chunk combiner, not the kernel
+    return _run_steps(inputs, steps)

@@ -120,9 +120,15 @@ def _fused_kernels() -> list[KernelContainer]:
     # ``num_args`` here is the nominal in+out pair; the launch cost of a
     # fused node uses the summed per-step argument count carried in its
     # cost_params (the fusion pass computes it).
+    fused = (
+        ("fused_map_filter", kernels.fused_map_filter),
+        ("fused_probe_path", kernels.fused_probe_path),
+        ("fused_filter_agg", kernels.fused_filter_agg),
+    )
     return [
-        KernelContainer("fused_map_filter", variant, kernels.fused_map_filter,
+        KernelContainer(primitive, variant, fn,
                         kind=ImplementationKind.LIBRARY, num_args=2)
+        for primitive, fn in fused
         for variant in (REFERENCE_VARIANT, *FUSED_VARIANTS)
     ]
 

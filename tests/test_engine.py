@@ -134,7 +134,9 @@ class TestResidencyCache:
     """Columns one query transferred are reused by later queries."""
 
     def test_warm_rerun_transfers_strictly_less(self, tiny_catalog):
-        engine = make_engine()
+        # Subplan caching would serve the warm rerun outright; disable
+        # it so the column-residency layer itself is exercised.
+        engine = make_engine(enable_subplan_cache=False)
         cold = engine.execute(q6.build(), tiny_catalog, chunk_size=CHUNK)
         warm = engine.execute(q6.build(), tiny_catalog, chunk_size=CHUNK)
         assert cold.stats.transfer_bytes > 0

@@ -236,7 +236,9 @@ class TestRetryExhaustion:
 
 class TestDeviceLossFailover:
     def test_mid_query_loss_fails_over_and_reclaims(self, tiny_catalog):
-        engine = hybrid_engine()
+        # Subplan caching would serve the rerun without touching the
+        # dying device; disable it so the failover path actually runs.
+        engine = hybrid_engine(enable_subplan_cache=False)
         # Warm the residency cache on the device that is about to die.
         engine.execute(q6.build(), tiny_catalog, chunk_size=1024)
         gpu = engine.devices["gpu0"]
@@ -254,6 +256,30 @@ class TestDeviceLossFailover:
         assert gpu.memory.device_used == 0
         assert not gpu.memory.aliases()
         assert counters(engine.clock)["recovery_actions"] >= 1
+
+    def test_loss_evicts_subplan_cache_entries(self, tiny_catalog):
+        """Results computed by hardware that later proved faulty are
+        re-derived, not trusted: losing a device sweeps every subplan
+        cache entry it produced."""
+        engine = hybrid_engine()
+        engine.execute(q6.build(), tiny_catalog, chunk_size=1024)
+        stats = engine.subplan_stats()
+        assert stats["entries"] > 0  # populated, provenance gpu0
+        engine.install_faults(FaultPlan.parse("gpu0:device_loss:10"))
+        # A different query misses the cache, executes, and loses gpu0
+        # mid-run; the post-run sweep must drop gpu0's entries.
+        result = engine.execute(q3.build(tiny_catalog), tiny_catalog,
+                                chunk_size=1024)
+        assert result.stats.failovers >= 1
+        assert engine.quarantined_devices == ["gpu0"]
+        swept = engine.subplan_stats()
+        assert swept["invalidations"] > stats["invalidations"]
+        # Nothing produced on the dead device survives; a warm q6 run
+        # re-executes instead of being served stale results.
+        warm = engine.execute(q6.build(), tiny_catalog, chunk_size=1024,
+                              default_device="cpu0")
+        assert warm.stats.subplan_cache_hits == 0
+        assert warm.stats.kernels_launched > 0
 
     def test_engine_survives_loss_across_later_queries(self, tiny_catalog):
         engine = hybrid_engine(FaultPlan.parse("gpu0:device_loss:10"))

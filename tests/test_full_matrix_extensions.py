@@ -78,6 +78,62 @@ class TestQ18Extensions:
             reference.q18(small_catalog, quantity=220)
 
 
+ALL_MODELS = ["chunked", "four_phase_chunked", "four_phase_pipelined",
+              "oaat", "pipelined", "split_chunked", "zero_copy"]
+
+#: Queries exercising each data-path fusion primitive: q6 collapses
+#: into a fused_filter_agg sink, q3's probe side becomes a
+#: fused_probe_path, q19 keeps a plain fused_map_filter chain.
+FUSION_QUERIES = ["q3", "q6", "q19"]
+
+
+class TestFusedByteIdentity:
+    """Join/aggregate fusion is byte-transparent under every model.
+
+    The acceptance bar for `fused_probe_path` / `fused_filter_agg`:
+    a fused plan's outputs equal the unfused plan's bit for bit, for
+    every query x execution model pairing — fusion may only change the
+    timeline, never the answer.
+    """
+
+    def _hetero(self):
+        return make_executor(
+            CudaDevice, GPU_RTX_2080_TI, name="gpu",
+            extra_devices=[("cpu", OpenMPDevice, CPU_XEON_5220R)])
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    @pytest.mark.parametrize("qname", FUSION_QUERIES)
+    def test_fused_outputs_byte_identical(self, small_catalog, qname,
+                                          model):
+        from tests.test_integration_queries import _blob
+
+        module, graph = build_graph(qname, small_catalog)
+        plain = self._hetero().run(graph, small_catalog, model=model,
+                                   chunk_size=2048)
+        _, graph2 = build_graph(qname, small_catalog)
+        fused = self._hetero().run(graph2, small_catalog, model=model,
+                                   chunk_size=2048, fuse=True)
+        assert _blob(fused.outputs) == _blob(plain.outputs)
+        check(module, fused, small_catalog, oracle(qname, small_catalog))
+
+    def test_expected_fused_primitives(self, small_catalog):
+        from repro.planner.fusion import (
+            FUSED_AGG_PRIMITIVE,
+            FUSED_PRIMITIVE,
+            FUSED_PROBE_PRIMITIVE,
+            fuse_graph,
+        )
+
+        expected = {"q3": FUSED_PROBE_PRIMITIVE,
+                    "q6": FUSED_AGG_PRIMITIVE,
+                    "q19": FUSED_PRIMITIVE}
+        for qname, primitive in expected.items():
+            _, graph = build_graph(qname, small_catalog)
+            fused = fuse_graph(graph)
+            present = {node.primitive for node in fused.nodes.values()}
+            assert primitive in present, (qname, sorted(present))
+
+
 class TestMultiHopRouting:
     def test_value_survives_gpu_cpu_fpga_chain(self, tiny_catalog):
         """A hash table daisy-chained across three devices stays intact

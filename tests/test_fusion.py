@@ -15,7 +15,11 @@ from repro.core.pipelines import split_pipelines
 from repro.errors import SignatureError
 from repro.hardware import trace
 from repro.planner.fusion import (
+    FUSED_AGG_PRIMITIVE,
     FUSED_PRIMITIVE,
+    FUSED_PRIMITIVES,
+    FUSED_PROBE_PRIMITIVE,
+    MAX_FUSED_INPUTS,
     fuse_graph,
 )
 from repro.primitives.kernels import fused_map_filter, map_ops
@@ -62,30 +66,49 @@ def assert_values_equal(left, right, where=""):
 
 
 class TestFuseGraphStructure:
-    def test_q6_filter_tree_collapses(self):
+    def test_q6_collapses_to_single_agg_sink(self):
         graph = q6.build()
         fused = fuse_graph(graph)
         assert len(graph.nodes) == 9  # input graph untouched
-        assert len(fused.nodes) == 5
-        fused_nodes = [n for n in fused.nodes.values()
-                       if n.primitive == FUSED_PRIMITIVE]
-        assert len(fused_nodes) == 1
-        steps = fused_nodes[0].params["steps"]
-        assert [s["primitive"] for s in steps] == [
+        # The whole query — filter tree, materialization, revenue map,
+        # and the block sum — becomes one fused aggregation kernel.
+        assert set(fused.nodes) == {"sum_rev"}
+        node = fused.nodes["sum_rev"]
+        assert node.primitive == FUSED_AGG_PRIMITIVE
+        steps = [s["primitive"] for s in node.params["steps"]]
+        assert len(steps) == 9
+        assert steps[-1] == "agg_block"
+        assert sorted(steps) == sorted([
             "filter_bitmap", "filter_bitmap", "filter_bitmap",
-            "bitmap_and", "bitmap_and"]
+            "bitmap_and", "bitmap_and", "materialize", "materialize",
+            "map", "agg_block"])
+        # The sink's fn is mirrored so chunk partials combine unfused.
+        assert node.params["fn"] == "sum"
+        # l_discount feeds two steps but is wired once (deduplicated).
+        assert len(fused.in_edges("sum_rev")) == 4
         # One launch charged with the summed per-step argument count.
-        assert fused_nodes[0].cost_params["fused_num_args"] == 12
+        assert node.cost_params["fused_num_args"] == 23
         fused.validate()
 
     def test_exit_keeps_node_id_and_downstream_edges(self):
-        graph = q6.build()
+        # `both` feeds two non-fusible consumers, so it stays the exit
+        # of its fused group and keeps its id and out-edges.
+        graph = self._two_filter_and()
+        graph.add_node("m1", "materialize")
+        graph.add_node("m2", "materialize")
+        graph.connect("lineitem.l_quantity", "m1", 0)
+        graph.connect("both", "m1", 1)
+        graph.connect("lineitem.l_discount", "m2", 0)
+        graph.connect("both", "m2", 1)
+        graph.mark_output("m1")
+        graph.mark_output("m2")
         fused = fuse_graph(graph)
-        assert "and_all" in fused.nodes
-        consumers = {e.target for e in fused.out_edges("and_all")}
-        assert consumers == {e.target for e in graph.out_edges("and_all")}
+        assert "both" in fused.nodes
+        assert fused.nodes["both"].primitive == FUSED_PRIMITIVE
+        consumers = {e.target for e in fused.out_edges("both")}
+        assert consumers == {e.target for e in graph.out_edges("both")}
 
-    def test_breaker_is_never_fused(self):
+    def test_agg_breaker_fuses_as_sink(self):
         graph = PrimitiveGraph("chain")
         graph.add_node("m1", "map", params=dict(op="add_const", const=1))
         graph.add_node("m2", "map", params=dict(op="mul_const", const=2))
@@ -95,11 +118,28 @@ class TestFuseGraphStructure:
         graph.connect("m2", "agg", 0)
         graph.mark_output("agg")
         fused = fuse_graph(graph)
-        assert set(fused.nodes) == {"m2", "agg"}
+        assert set(fused.nodes) == {"agg"}
+        node = fused.nodes["agg"]
+        assert node.primitive == FUSED_AGG_PRIMITIVE
+        assert node.is_breaker  # the sink keeps its breaker role
+        assert [s["primitive"] for s in node.params["steps"]] == [
+            "map", "map", "agg_block"]
+
+    def test_non_agg_breaker_is_never_fused(self):
+        graph = PrimitiveGraph("build_chain")
+        graph.add_node("m1", "map", params=dict(op="add_const", const=1))
+        graph.add_node("m2", "map", params=dict(op="mul_const", const=2))
+        graph.add_node("build", "hash_build", params=dict(payload=False))
+        graph.connect("orders.o_orderkey", "m1", 0)
+        graph.connect("m1", "m2", 0)
+        graph.connect("m2", "build", 0)
+        graph.mark_output("build")
+        fused = fuse_graph(graph)
+        # hash_build is not an aggregation sink: the map chain fuses up
+        # to (not into) it.
+        assert set(fused.nodes) == {"m2", "build"}
         assert fused.nodes["m2"].primitive == FUSED_PRIMITIVE
-        assert fused.nodes["agg"].primitive == graph.nodes["agg"].primitive
-        (agg_in,) = fused.in_edges("agg")
-        assert agg_in.source == "m2"
+        assert fused.nodes["build"].primitive == "hash_build"
 
     def test_multi_consumer_intermediate_stays(self):
         graph = PrimitiveGraph("diamond")
@@ -116,11 +156,17 @@ class TestFuseGraphStructure:
         graph.connect("f2", "both", 1)
         graph.mark_output("both")
         fused = fuse_graph(graph)
-        # m feeds two consumers -> kept; the filter/and tree fuses.
-        assert "m" in fused.nodes
-        assert fused.nodes["m"].primitive == "map"
-        assert fused.nodes["both"].primitive == FUSED_PRIMITIVE
-        # Both fused filters read m: one deduplicated external input.
+        # m's two consumers land in the same group, so the whole
+        # diamond fuses: m is evaluated once and its value shared by
+        # both filter steps inside the kernel.
+        assert set(fused.nodes) == {"both"}
+        node = fused.nodes["both"]
+        assert node.primitive == FUSED_PRIMITIVE
+        steps = node.params["steps"]
+        assert sum(1 for s in steps if s["id"] == "m") == 1
+        refs = [arg for s in steps for arg in s["args"]]
+        assert refs.count(("step", "m")) == 2
+        # One deduplicated scan input feeds the fused kernel.
         assert len(fused.in_edges("both")) == 1
 
     def test_marked_output_is_not_fused_away(self):
@@ -162,12 +208,33 @@ class TestFuseGraphStructure:
         graph.mark_output("agg")
         assert fuse_graph(graph) is graph
 
-    def test_q1_multi_consumer_plan_is_untouched(self):
+    def test_q1_multi_consumer_nodes_stay_unfused(self):
         graph = q1.build()
-        assert fuse_graph(graph) is graph
+        fused = fuse_graph(graph)
+        # Q1's shared intermediates with consumers in *different*
+        # groups (the filter feeding six materializations, the price
+        # column feeding two expressions) survive as standalone nodes.
+        for nid in ("f_ship", "m_price"):
+            assert nid in fused.nodes
+            assert fused.nodes[nid].primitive == graph.nodes[nid].primitive
+        # The group key feeds five sinks in five different groups, so
+        # it cannot merge downstream — but its own producers merge INTO
+        # it: keys survives as the exit of a fused group, still feeding
+        # all five aggregations.
+        assert fused.nodes["keys"].primitive == FUSED_PROBE_PRIMITIVE
+        assert len(fused.out_edges("keys")) == len(graph.out_edges("keys"))
+        # Single-consumer chains into the hash_agg sinks do fuse.
+        agg_fused = [n for n in fused.nodes.values()
+                     if n.primitive == FUSED_AGG_PRIMITIVE]
+        assert agg_fused  # e.g. m_qty -> agg_qty
+        assert all(n.params["steps"][-1]["primitive"] == "hash_agg"
+                   for n in agg_fused)
+        fused.validate()
 
-    def test_input_slot_budget_aborts_fusion(self):
-        # 17 distinct scan columns exceed the 16-slot fused signature.
+    def test_input_slot_overflow_splits_into_two_groups(self):
+        # 17 distinct scan columns exceed the 16-slot fused signature:
+        # the chain must split into two fused groups, not fall back to
+        # a fully unfused plan.
         graph = PrimitiveGraph("wide")
         cols = [f"t.c{i}" for i in range(17)]
         for i, col in enumerate(cols):
@@ -182,7 +249,20 @@ class TestFuseGraphStructure:
             graph.connect(f"f{i}", nid, 1)
             prev = nid
         graph.mark_output(prev)
-        assert fuse_graph(graph) is graph
+        fused = fuse_graph(graph)
+        assert fused is not graph
+        fused_nodes = [n for n in fused.nodes.values()
+                       if n.primitive in FUSED_PRIMITIVES]
+        assert len(fused_nodes) == 2
+        for node in fused_nodes:
+            assert len(fused.in_edges(node.node_id)) <= MAX_FUSED_INPUTS
+        # Every original step ends up inside exactly one fused group or
+        # as a surviving plain node; nothing is silently dropped.
+        absorbed = sum(len(n.params["steps"]) for n in fused_nodes)
+        plain = sum(1 for n in fused.nodes.values()
+                    if n.primitive not in FUSED_PRIMITIVES)
+        assert absorbed + plain == len(graph.nodes)
+        fused.validate()
 
 
 class TestFusedKernel:

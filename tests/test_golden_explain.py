@@ -82,8 +82,12 @@ def test_explain_matches_golden(name, tiny_catalog, update_golden):
     path = GOLDEN_DIR / f"{name}.txt"
     if update_golden:
         GOLDEN_DIR.mkdir(exist_ok=True)
+        old = path.read_text() if path.exists() else None
+        if old == text:
+            pytest.skip(f"golden snapshot {path.name} already up to date")
         path.write_text(text)
-        pytest.skip(f"golden snapshot {path.name} updated")
+        print(f"updated golden snapshot: {path.name}")
+        pytest.skip(f"golden snapshot {path.name} updated (content changed)")
     assert path.exists(), (
         f"missing golden snapshot {path}; run pytest --update-golden")
     assert text == path.read_text(), (

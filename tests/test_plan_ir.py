@@ -10,7 +10,7 @@ from repro.errors import ExecutionError
 from repro.hardware import CPU_I7_8700
 from repro.planner.adaptive import AdaptivePass
 from repro.planner.fusion import (
-    FUSED_PRIMITIVE,
+    FUSED_PRIMITIVES,
     FusionPass,
     fusion_groups,
 )
@@ -77,7 +77,7 @@ class TestPasses:
         assert plan.fused_groups == tuple(g.exit_id for g in groups)
         assert plan.provenance == ("fusion",)
         for exit_id in plan.fused_groups:
-            assert plan.graph.nodes[exit_id].primitive == FUSED_PRIMITIVE
+            assert plan.graph.nodes[exit_id].primitive in FUSED_PRIMITIVES
 
     def test_fusion_pass_only_subset(self, tiny_catalog):
         graph = q19.build(tiny_catalog)
