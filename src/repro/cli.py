@@ -8,9 +8,11 @@ Usage::
     python -m repro run --query q6 --analyze --metrics-out metrics.prom
     python -m repro compare --query q3 --sf 0.02 --data-scale 1024
     python -m repro run --query q3 --faults "dev0:transient:0.05,seed=7"
+    python -m repro serve --qps 800 --duration 0.02 --scenario overload
 
 Exit codes: 0 success, 1 oracle mismatch, 2 user error (e.g. a
-malformed ``--faults`` spec), 3 execution failure.
+malformed ``--faults`` spec), 3 execution failure, 4 per-query
+wall-clock retry budget exhausted (``--retry-budget``).
 """
 
 from __future__ import annotations
@@ -21,8 +23,12 @@ import sys
 from repro.core.executor import DEFAULT_CHUNK_SIZE, AdamantExecutor
 from repro.core.models import MODELS
 from repro.devices import CudaDevice, OpenCLDevice, OpenMPDevice
-from repro.errors import AdamantError, FaultConfigError
-from repro.faults import FaultPlan
+from repro.errors import (
+    AdamantError,
+    FaultConfigError,
+    RetryBudgetExhaustedError,
+)
+from repro.faults import SCENARIOS, FaultPlan, RetryPolicy
 from repro.hardware import (
     ALL_GPUS,
     CPU_I7_8700,
@@ -153,6 +159,63 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "batch (.json -> JSON, otherwise "
                                  "Prometheus text format)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve an open-loop request stream over one shared engine "
+             "(admission control, priority lanes, deadlines, shedding)")
+    serve.add_argument("--qps", type=float, default=500.0,
+                       help="mean arrival rate, requests per virtual "
+                            "second (default 500)")
+    serve.add_argument("--duration", type=float, default=0.02,
+                       help="arrival window in virtual seconds "
+                            "(default 0.02)")
+    serve.add_argument("--sf", type=float, default=0.002)
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--driver", choices=sorted(DRIVERS), default="cuda")
+    serve.add_argument("--spec", choices=sorted(SPECS), default=None)
+    serve.add_argument("--queries", default="q1,q6,q14,q19",
+                       help="comma-separated query mix "
+                            "(default q1,q6,q14,q19)")
+    serve.add_argument("--chunk-size", type=int, default=2048)
+    serve.add_argument("--data-scale", type=int, default=1)
+    serve.add_argument("--memory-limit", type=int, default=None)
+    serve.add_argument("--interactive-frac", type=float, default=0.5,
+                       help="fraction of arrivals routed to the "
+                            "interactive lane (default 0.5)")
+    serve.add_argument("--interactive-deadline-ms", type=float,
+                       default=None,
+                       help="per-request deadline for the interactive "
+                            "lane, in virtual milliseconds")
+    serve.add_argument("--batch-deadline-ms", type=float, default=None,
+                       help="per-request deadline for the batch lane, "
+                            "in virtual milliseconds")
+    serve.add_argument("--max-in-flight", type=int, default=4,
+                       help="per-tenant in-flight quota (default 4)")
+    serve.add_argument("--tenant-budget", type=int, default=None,
+                       help="per-tenant admitted-bytes budget "
+                            "(default unlimited)")
+    serve.add_argument("--max-queue", type=int, default=16,
+                       help="bounded admission queue per lane; "
+                            "arrivals beyond it are shed (default 16)")
+    serve.add_argument("--degrade-depth", type=int, default=4,
+                       help="queue depth at which batch requests run "
+                            "with halved chunks (default 4; 0 disables)")
+    serve.add_argument("--no-preempt", action="store_true",
+                       help="disable chunk-boundary preemption of "
+                            "batch pipelines by interactive arrivals")
+    serve.add_argument("--faults", default=None, metavar="SPEC",
+                       help="inject faults while serving, e.g. "
+                            "'dev0:transient:0.05,seed=7'")
+    serve.add_argument("--scenario", choices=sorted(SCENARIOS),
+                       default=None,
+                       help="named chaos scenario (conflicts with "
+                            "--faults)")
+    serve.add_argument("--explain-admission", action="store_true",
+                       help="print the admission decision log after "
+                            "the run")
+    serve.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the engine's metrics after the run")
+
     explain_cmd = sub.add_parser(
         "explain",
         help="render a query's execution plan (pipelines, placement, "
@@ -226,6 +289,12 @@ def _build_parser() -> argparse.ArgumentParser:
                                   "'dev0:transient:0.05,seed=7'; a GPU "
                                   "driver gets a host fallback device "
                                   "'host0' for failover")
+            cmd.add_argument("--retry-budget", type=float, default=None,
+                             metavar="SECONDS",
+                             help="per-query wall-clock budget for "
+                                  "retry backoff (engine mode, with "
+                                  "--faults); exhausting it fails the "
+                                  "query with exit code 4")
             cmd.add_argument("--analyze", action="store_true",
                              help="print the per-node ANALYZE profile "
                                   "after the run")
@@ -403,14 +472,18 @@ def _run_with_faults(args, graph, catalog, plan, *, analyze=False):
 
     A GPU driver gets a host fallback device plugged alongside, so a
     ``device_loss`` clause demonstrates failover instead of failing.
-    Returns ``(result, metrics)``.
+    ``--retry-budget`` caps the cumulative backoff the retry ladder may
+    charge to the query. Returns ``(result, metrics)``.
     """
     from repro.engine import Engine
 
     driver, kind = DRIVERS[args.driver]
     spec = SPECS[args.spec] if args.spec else (
         GPU_RTX_2080_TI if kind == "GPU" else CPU_I7_8700)
-    engine = Engine(faults=plan)
+    budget = getattr(args, "retry_budget", None)
+    policy = (RetryPolicy(budget_seconds=budget)
+              if budget is not None else None)
+    engine = Engine(faults=plan, retry_policy=policy)
     engine.plug_device("dev0", driver, spec,
                        memory_limit=args.memory_limit, default=True)
     if kind == "GPU":
@@ -456,7 +529,7 @@ def cmd_run(args) -> int:
     plan = FaultPlan.parse(args.faults) if args.faults else None
     catalog = generate(args.sf, seed=args.seed)
     module, graph = _build_graph(args, catalog)
-    if plan is not None:
+    if plan is not None or args.retry_budget is not None:
         result, metrics = _run_with_faults(args, graph, catalog, plan,
                                            analyze=args.analyze)
     else:
@@ -610,18 +683,116 @@ def cmd_concurrent(args) -> int:
     return status
 
 
+def cmd_serve(args) -> int:
+    """Serve an open-loop workload over one shared engine."""
+    from repro.engine import Engine
+    from repro.observe import explain_admission
+    from repro.serving import (
+        AdmissionController,
+        QueryService,
+        TenantPolicy,
+        open_loop_workload,
+    )
+    from repro.serving.workload import QUERY_MIX
+
+    if args.faults and args.scenario:
+        print("--faults conflicts with --scenario; pass one or the "
+              "other", file=sys.stderr)
+        return 2
+    names = [n.strip() for n in args.queries.split(",") if n.strip()]
+    if not names:
+        print("no queries given (expected e.g. --queries q1,q6)",
+              file=sys.stderr)
+        return 2
+    unknown = [n for n in names if n not in QUERY_MIX]
+    if unknown:
+        print(f"unknown serve queries: {', '.join(unknown)}; "
+              f"available: {', '.join(sorted(QUERY_MIX))}",
+              file=sys.stderr)
+        return 2
+    plan = None
+    if args.faults:
+        plan = FaultPlan.parse(args.faults)
+    elif args.scenario:
+        plan = SCENARIOS[args.scenario]()
+    catalog = generate(args.sf, seed=args.seed)
+    driver, kind = DRIVERS[args.driver]
+    spec = SPECS[args.spec] if args.spec else (
+        GPU_RTX_2080_TI if kind == "GPU" else CPU_I7_8700)
+    engine = Engine(faults=plan)
+    engine.plug_device("dev0", driver, spec,
+                       memory_limit=args.memory_limit, default=True)
+    if plan is not None and kind == "GPU":
+        engine.plug_device("host0", OpenMPDevice, CPU_I7_8700)
+    controller = AdmissionController(
+        default_policy=TenantPolicy(
+            max_in_flight=args.max_in_flight,
+            memory_budget=args.tenant_budget),
+        max_queue_per_lane=args.max_queue)
+    service = QueryService(
+        engine, controller=controller,
+        degrade_queue_depth=args.degrade_depth or None,
+        preempt=not args.no_preempt)
+    requests = open_loop_workload(
+        catalog, qps=args.qps, duration_s=args.duration, seed=args.seed,
+        interactive_fraction=args.interactive_frac,
+        queries=tuple(names), chunk_size=args.chunk_size,
+        data_scale=args.data_scale,
+        interactive_deadline_s=(
+            args.interactive_deadline_ms / 1e3
+            if args.interactive_deadline_ms is not None else None),
+        batch_deadline_s=(
+            args.batch_deadline_ms / 1e3
+            if args.batch_deadline_ms is not None else None))
+    report = service.serve(requests)
+    mismatches = 0
+    for outcome in report.outcomes:
+        if outcome.status != "ok":
+            continue
+        module, _needs_catalog = QUERY_MIX[outcome.label]
+        answer = module.finalize(outcome.result, catalog)
+        expected = _oracle_for(outcome.label, catalog)
+        ok = (abs(answer - expected) < 1e-9
+              if isinstance(answer, float) else answer == expected)
+        mismatches += 0 if ok else 1
+    print(f"served {len(report.outcomes)} requests at {args.qps:g} qps "
+          f"over {args.duration:g}s (virtual)")
+    print(f"  {'lane':12s} {'sub':>5s} {'ok':>5s} {'shed':>5s} "
+          f"{'ddl':>5s} {'fail':>5s} {'degr':>5s} {'cache':>5s} "
+          f"{'p50':>11s} {'p95':>11s} {'miss%':>6s}")
+    for lane, row in report.summary().items():
+        p50 = (f"{row['p50_latency_s']:>10.6f}s"
+               if row["p50_latency_s"] is not None else f"{'-':>11s}")
+        p95 = (f"{row['p95_latency_s']:>10.6f}s"
+               if row["p95_latency_s"] is not None else f"{'-':>11s}")
+        print(f"  {lane:12s} {row['submitted']:>5d} {row['ok']:>5d} "
+              f"{row['rejected']:>5d} {row['deadline']:>5d} "
+              f"{row['failed']:>5d} {row['degraded']:>5d} "
+              f"{row['cache_served']:>5d} {p50} {p95} "
+              f"{row['deadline_miss_rate'] * 100:>5.1f}%")
+    print(f"oracle mismatches among admitted: {mismatches}")
+    if args.explain_admission:
+        print(explain_admission(service.controller.decisions))
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, engine.metrics)
+    return 1 if mismatches else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handler = {"devices": cmd_devices, "run": cmd_run,
                "compare": cmd_compare, "figures": cmd_figures,
                "micro": cmd_micro, "validate": cmd_validate,
-               "concurrent": cmd_concurrent,
+               "concurrent": cmd_concurrent, "serve": cmd_serve,
                "explain": cmd_explain}[args.command]
     try:
         return handler(args)
     except FaultConfigError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except RetryBudgetExhaustedError as error:
+        print(f"retry budget exhausted: {error}", file=sys.stderr)
+        return 4
     except AdamantError as error:
         print(f"execution failed: {error}", file=sys.stderr)
         return 3

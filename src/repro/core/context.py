@@ -56,6 +56,12 @@ class RecoveryLog:
 
     #: Chunk-level kernel retries after transient device faults.
     retries: int = 0
+    #: Cumulative backoff seconds those retries charged to the query;
+    #: checked against the retry policy's per-query ``budget_seconds``.
+    retry_backoff_seconds: float = 0.0
+    #: The query burned through its wall-clock retry budget and was
+    #: failed with :class:`~repro.errors.RetryBudgetExhaustedError`.
+    retry_budget_exhausted: bool = False
     #: Times the query was re-placed onto surviving devices after a
     #: device loss / quarantine.
     failovers: int = 0
@@ -93,6 +99,17 @@ class QueryContext:
         recovery: Tally of recovery actions (retries, failovers, OOM
             degradations) taken for the query; sessions share one log
             across model rebuilds.
+        deadline: Absolute virtual-clock time the query must finish by
+            (None = no deadline).  Enforced at chunk boundaries by the
+            gate and at pipeline boundaries by the serving scheduler;
+            a miss raises :class:`~repro.errors.DeadlineExceededError`
+            and the query's device-side state is reclaimed.
+        gate: Chunk-boundary hook (serving mode): an object with a
+            ``checkpoint(model)`` method the chunk loops call between
+            chunks.  The serving layer uses it to enforce deadlines
+            mid-pipeline and to preempt batch pipelines when
+            higher-priority work arrives; None everywhere else, and the
+            chunk loops skip the call entirely.
     """
 
     query_id: str = "q0"
@@ -102,6 +119,8 @@ class QueryContext:
     use_residency: bool = True
     use_subplan_cache: bool = True
     recovery: RecoveryLog = field(default_factory=RecoveryLog)
+    deadline: float | None = None
+    gate: object | None = None
 
 
 @dataclass
@@ -142,6 +161,11 @@ class ExecutionStats:
     failovers: int = 0
     oom_recoveries: int = 0
     quarantined_devices: list[str] = field(default_factory=list)
+    #: Backoff seconds the retries charged, and whether the per-query
+    #: retry budget ran out (the query then failed with
+    #: :class:`~repro.errors.RetryBudgetExhaustedError`).
+    retry_backoff_seconds: float = 0.0
+    retry_budget_exhausted: bool = False
     #: Adaptive-execution actions (zero unless the run had
     #: ``adaptive=True``): chunk-size changes applied by the dynamic
     #: sizer, split-model chunks dispatched to a different device than
@@ -376,4 +400,6 @@ class ExecutionContext:
             failovers=query.recovery.failovers,
             oom_recoveries=query.recovery.oom_recoveries,
             quarantined_devices=list(query.recovery.quarantined_devices),
+            retry_backoff_seconds=query.recovery.retry_backoff_seconds,
+            retry_budget_exhausted=query.recovery.retry_budget_exhausted,
         )

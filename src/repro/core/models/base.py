@@ -27,6 +27,7 @@ from repro.core.pipelines import (
 from repro.devices.base import SimulatedDevice, Task
 from repro.errors import (
     ExecutionError,
+    RetryBudgetExhaustedError,
     RetryExhaustedError,
     TransientDeviceError,
 )
@@ -334,14 +335,38 @@ class ExecutionModel(abc.ABC):
                     ).annotate(device=device.name,
                                query_id=self.ctx.query.query_id,
                                node_id=node.node_id) from fault
-                self.ctx.query.recovery.retries += 1
+                recovery = self.ctx.query.recovery
+                pause = policy.backoff_seconds(attempt)
+                if policy.budget_seconds is not None and \
+                        recovery.retry_backoff_seconds + pause \
+                        > policy.budget_seconds:
+                    # The per-query wall-clock retry budget is spent:
+                    # stop limping along behind a flapping device.  The
+                    # scheduler treats this as terminal (no failover /
+                    # degradation), so the stream sheds the query
+                    # instead of stalling indefinitely.
+                    recovery.retry_budget_exhausted = True
+                    if self.ctx.metrics is not None:
+                        self.ctx.metrics.inc(
+                            "adamant_retry_budget_exhausted_total",
+                            device=device.name)
+                    raise RetryBudgetExhaustedError(
+                        f"retry budget of {policy.budget_seconds:g}s "
+                        f"spent ({recovery.retry_backoff_seconds:g}s "
+                        f"burned over {recovery.retries} retries); "
+                        f"kernel {node.primitive!r} still failing"
+                    ).annotate(device=device.name,
+                               query_id=self.ctx.query.query_id,
+                               node_id=node.node_id) from fault
+                recovery.retries += 1
+                recovery.retry_backoff_seconds += pause
                 if self.ctx.metrics is not None:
                     self.ctx.metrics.inc("adamant_retries_total",
                                          device=device.name,
                                          primitive=node.primitive)
                 backoff = self.ctx.clock.schedule(
                     device.compute_stream,
-                    policy.backoff_seconds(attempt),
+                    pause,
                     label=f"{device.name}:backoff:{node.node_id}",
                     category="backoff",
                     node=node.node_id,
@@ -498,6 +523,13 @@ class ExecutionModel(abc.ABC):
                     self.ctx.clock.events_since(cursor))
             if stop >= total:
                 break
+            gate = self.ctx.query.gate
+            if gate is not None:
+                # Serving mode: between chunks the query yields to the
+                # gate, which enforces its deadline and lets
+                # higher-priority arrivals preempt the pipeline (their
+                # events are scheduled before this query's next chunk).
+                gate.checkpoint(self)
             if sizer is not None and ci == 0:
                 from repro.planner.adaptive import exact_partial
                 if not all(

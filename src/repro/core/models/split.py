@@ -149,6 +149,11 @@ class SplitChunkedModel(ExecutionModel):
                 self.adaptive.observe_chunk(
                     device, pipeline, stop - start,
                     self.ctx.clock.events_since(cursor))
+            gate = self.ctx.query.gate
+            if gate is not None and ci + 1 < len(starts):
+                # Serving mode: deadline / preemption checkpoint between
+                # chunks (see the base chunk loop).
+                gate.checkpoint(self)
 
         self.ctx.clock.barrier(
             [s for d in devices

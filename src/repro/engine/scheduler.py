@@ -50,6 +50,7 @@ from repro.core.pipelines import Pipeline
 from repro.engine.session import QuerySession
 from repro.errors import (
     AdamantError,
+    DeadlineExceededError,
     DeviceLostError,
     DeviceMemoryError,
     QueryBudgetError,
@@ -135,6 +136,7 @@ class DeviceScheduler:
             self._bind(entry)
             try:
                 try:
+                    self._check_deadline(entry)
                     next(entry.steps)
                 except StopIteration:
                     entry.session._record(entry.model.finalize())
@@ -153,6 +155,25 @@ class DeviceScheduler:
                     self._release(entry, failed=True)
             finally:
                 self._unbind(entry)
+
+    @staticmethod
+    def _check_deadline(entry: _InFlight) -> None:
+        """Deadline enforcement at pipeline boundaries.
+
+        Chunk loops additionally check between chunks through the
+        query's gate (serving mode); this boundary check covers
+        unchunked pipelines and queries without a gate.  A miss is
+        terminal — the cancellation teardown reclaims the query's
+        buffers and cache pins.
+        """
+        deadline = entry.session.deadline
+        if deadline is None:
+            return
+        now = entry.model.ctx.clock.now()
+        if now > deadline:
+            raise DeadlineExceededError(
+                f"query {entry.session.query_id}: deadline {deadline:.6f}s "
+                f"passed at {now:.6f}s (pipeline boundary)")
 
     # -- recovery -------------------------------------------------------------
 
@@ -312,6 +333,14 @@ class DeviceScheduler:
         """Release the finished (or aborted) query's device-side state."""
         ctx = entry.model.ctx
         query_id = entry.session.query_id
+        cache = getattr(ctx, "subplan_cache", None)
+        if cache is not None:
+            # A cancelled/restarted query's subplan-cache refcount pins
+            # must drop here, not only at session close: a mid-chunk
+            # abort that kept its pins would block eviction for every
+            # query that outlives it.  Safe across restarts — the
+            # rebuilt model re-pins on its next cache lookup.
+            cache.release_query(query_id)
         for device in ctx.devices.values():
             residency = getattr(device, "residency", None)
             if residency is not None:

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.core.context import QueryContext, QueryResult, RecoveryLog
-from repro.errors import AdamantError
+from repro.errors import AdamantError, QueryCancelledError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.engine import Engine
@@ -41,6 +41,11 @@ class QuerySession:
         #: Recovery actions taken for this query; lives on the session
         #: (not the model) so failover/OOM rebuilds keep one tally.
         self.recovery = RecoveryLog()
+        #: Absolute virtual-clock deadline (serving layer); threaded
+        #: into the query context so chunk loops can enforce it.
+        self.deadline: float | None = None
+        #: Chunk-boundary hook (serving layer preemption/deadlines).
+        self.gate: object | None = None
 
     # -- accounting ----------------------------------------------------------
 
@@ -60,6 +65,8 @@ class QuerySession:
             memory_budget=self.memory_budget,
             epoch_start=epoch_start,
             recovery=self.recovery,
+            deadline=self.deadline,
+            gate=self.gate,
         )
 
     def _record(self, result: QueryResult) -> None:
@@ -75,6 +82,26 @@ class QuerySession:
     @property
     def closed(self) -> bool:
         return self.state == "closed"
+
+    @property
+    def cancelled(self) -> bool:
+        return isinstance(self.error, QueryCancelledError)
+
+    def cancel(self, error: QueryCancelledError | None = None) -> None:
+        """Cancel the in-flight query and tear down all its state.
+
+        Cancellation gets the *full* teardown a completed or failed
+        query gets: owner-tagged buffers freed, residency pins dropped,
+        subplan-cache refcount pins released, memory budget cleared —
+        a cancelled query must never leak a pin that blocks eviction
+        for the queries that outlive it.
+        """
+        if self.state in ("closed", "finished"):
+            return
+        self._fail(error if error is not None
+                   else QueryCancelledError(
+                       f"query {self.query_id} cancelled"))
+        self.close()
 
     def close(self) -> None:
         """Release the session's device-side state and free its slot."""

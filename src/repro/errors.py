@@ -108,6 +108,18 @@ class DeviceLostError(DeviceError):
     pipelines must be re-placed on surviving devices."""
 
 
+class RetryBudgetExhaustedError(DeviceError):
+    """The query spent its per-query wall-clock retry budget.
+
+    Unlike :class:`RetryExhaustedError` (one kernel's bounded attempts),
+    this caps the *sum* of backoff seconds a query may burn across every
+    retry of every chunk — the guard against a flapping device that
+    keeps a stream limping forever.  The scheduler does not recover from
+    it: the query fails with ``retry_budget_exhausted`` surfaced in its
+    stats, and the CLI maps it to its own exit code.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Task layer
 # ---------------------------------------------------------------------------
@@ -153,6 +165,53 @@ class SchedulingError(RuntimeLayerError):
 
 class QueryAdmissionError(RuntimeLayerError):
     """The engine refused to admit a query session (concurrency limit)."""
+
+
+class QueryCancelledError(RuntimeLayerError):
+    """The query was cancelled while in flight (operator action or the
+    serving layer reclaiming a slot).  Its device-side state — buffers,
+    residency pins, subplan-cache pins — is torn down exactly as for a
+    failed query; the scheduler does not attempt recovery."""
+
+
+class DeadlineExceededError(QueryCancelledError):
+    """The query blew through its per-request deadline.
+
+    Raised at a chunk or pipeline boundary by the serving layer's
+    deadline enforcement; the work done so far is discarded and the
+    query's buffers and cache pins are reclaimed (the cancellation
+    teardown path), so a slow query cannot hold devices past its SLO.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Serving layer
+# ---------------------------------------------------------------------------
+
+
+class AdmissionRejected(RuntimeLayerError):
+    """The serving layer shed a request instead of admitting it.
+
+    Typed rejection with backpressure context: the *reason* names which
+    bound saturated (lane queue, tenant quota, tenant memory budget) and
+    *retry_after_s* is the service's estimate of when capacity frees up,
+    so a well-behaved client backs off instead of hammering.
+    """
+
+    def __init__(self, message: str, *, reason: str = "overload",
+                 retry_after_s: float = 0.0, tenant: str = "",
+                 lane: str = "") -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        self.tenant = tenant
+        self.lane = lane
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        return (f"{base} [reason={self.reason} lane={self.lane or '-'} "
+                f"tenant={self.tenant or '-'} "
+                f"retry_after={self.retry_after_s:.6f}s]")
 
 
 # ---------------------------------------------------------------------------

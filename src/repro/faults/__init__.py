@@ -27,11 +27,19 @@ OOM degradation and device failover in
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
 from repro.faults.policy import RetryPolicy
+from repro.faults.scenarios import (
+    SCENARIOS,
+    flapping_device,
+    overload_faults,
+)
 
 __all__ = [
+    "SCENARIOS",
     "FaultInjector",
     "FaultKind",
     "FaultPlan",
     "FaultSpec",
     "RetryPolicy",
+    "flapping_device",
+    "overload_faults",
 ]

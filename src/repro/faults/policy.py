@@ -20,11 +20,19 @@ class RetryPolicy:
         base_backoff: Seconds charged to the device's compute stream
             before the first retry.
         multiplier: Exponential growth factor of successive backoffs.
+        budget_seconds: Per-query wall-clock retry budget — the total
+            backoff seconds one query may accumulate across all its
+            chunk retries (None = uncapped, the pre-budget behaviour).
+            Exceeding it raises
+            :class:`~repro.errors.RetryBudgetExhaustedError`, which the
+            scheduler treats as terminal: a flapping device degrades a
+            query's latency only up to the budget, never indefinitely.
     """
 
     max_attempts: int = 4
     base_backoff: float = 100e-6
     multiplier: float = 2.0
+    budget_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -36,6 +44,9 @@ class RetryPolicy:
         if self.multiplier < 1.0:
             raise FaultConfigError(
                 f"multiplier must be >= 1, got {self.multiplier}")
+        if self.budget_seconds is not None and self.budget_seconds <= 0:
+            raise FaultConfigError(
+                f"budget_seconds must be > 0, got {self.budget_seconds}")
 
     def backoff_seconds(self, attempt: int) -> float:
         """Backoff charged before retry *attempt* (1-based)."""

@@ -16,6 +16,7 @@ documented surface; see ``docs/observability.md``).
 # estimate_graph_seconds / estimate_node_seconds are deprecated
 # re-exports: the estimators live in repro.planner.cost since the
 # plan-IR refactor (observe builds on the planner, not vice versa).
+from repro.observe.admission import explain_admission
 from repro.observe.explain import (
     estimate_graph_seconds,
     estimate_node_seconds,
@@ -39,5 +40,6 @@ __all__ = [
     "estimate_graph_seconds",
     "estimate_node_seconds",
     "explain",
+    "explain_admission",
     "explain_plans",
 ]

@@ -1,0 +1,52 @@
+"""EXPLAIN for admission decisions (serving layer).
+
+Every verdict the :class:`~repro.serving.AdmissionController` takes is
+recorded as an :class:`~repro.serving.AdmissionDecision`;
+:func:`explain_admission` renders that log as a deterministic
+fixed-width table — the serving-layer counterpart of the plan EXPLAIN:
+*why* was this request admitted, admitted past a full queue, or shed,
+and what back-off hint did the client get.
+
+Like everything in :mod:`repro.observe`, this is read-only: rendering
+the log never changes a decision or a makespan.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serving.admission import AdmissionDecision
+
+__all__ = ["explain_admission"]
+
+
+def explain_admission(decisions: "Sequence[AdmissionDecision]", *,
+                      limit: int | None = None) -> str:
+    """Render *decisions* (oldest first) as a fixed-width table.
+
+    Args:
+        limit: Keep only the last *limit* decisions (None = all).
+
+    The output is deterministic for a deterministic serve run, so
+    golden tests can assert on it verbatim.
+    """
+    rows = list(decisions)
+    dropped = 0
+    if limit is not None and len(rows) > limit:
+        dropped = len(rows) - limit
+        rows = rows[-limit:]
+    shed = sum(1 for d in rows if d.verdict == "shed")
+    lines = [
+        f"ADMISSION LOG  decisions={len(rows)} shed={shed}"
+        + (f"  (earliest {dropped} omitted)" if dropped else ""),
+        f"  {'time':>10s}  {'request':12s} {'tenant':10s} {'lane':11s} "
+        f"{'verdict':12s} {'reason':16s} {'depth':>5s} {'retry_after':>11s}",
+    ]
+    for d in rows:
+        retry = f"{d.retry_after_s:.6f}s" if d.verdict == "shed" else "-"
+        lines.append(
+            f"  {d.now_s:>9.6f}s  {d.request_id:12s} {d.tenant:10s} "
+            f"{d.lane:11s} {d.verdict:12s} {d.reason:16s} "
+            f"{d.queue_depth:>5d} {retry:>11s}")
+    return "\n".join(lines)

@@ -67,6 +67,9 @@ METRIC_CATALOG: dict[str, tuple[str, tuple[str, ...], str]] = {
     "adamant_recovery_actions_total": (
         "counter", ("reason",),
         "Scheduler recovery restarts, by degradation-ladder reason."),
+    "adamant_retry_budget_exhausted_total": (
+        "counter", ("device",),
+        "Queries failed for spending their wall-clock retry budget."),
     "adamant_faults_injected_total": (
         "counter", ("device", "kind"),
         "Faults injected by the armed fault plan."),
@@ -115,6 +118,29 @@ METRIC_CATALOG: dict[str, tuple[str, tuple[str, ...], str]] = {
     "adamant_optimizer_observed_seconds": (
         "gauge", ("query",),
         "Observed makespan of the last optimizer-chosen execution."),
+    "adamant_serving_queue_depth": (
+        "gauge", ("lane",),
+        "Requests waiting in each serving-layer priority lane."),
+    "adamant_serving_admitted_total": (
+        "counter", ("lane",),
+        "Requests admitted past the serving layer's front door."),
+    "adamant_serving_shed_total": (
+        "counter", ("lane", "reason"),
+        "Requests shed with a typed rejection, by saturated bound."),
+    "adamant_serving_deadline_misses_total": (
+        "counter", ("lane",),
+        "Admitted requests cancelled for missing their deadline."),
+    "adamant_serving_preemptions_total": (
+        "counter", (),
+        "Interactive requests served inside a batch pipeline's "
+        "chunk-boundary preemption window."),
+    "adamant_serving_degraded_total": (
+        "counter", ("action",),
+        "Graceful-degradation actions (chunk-halve / cache-serve) "
+        "taken instead of shedding."),
+    "adamant_serving_lane_latency_seconds": (
+        "histogram", ("lane",),
+        "Arrival-to-completion latency per serving lane."),
 }
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")

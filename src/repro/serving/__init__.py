@@ -1,0 +1,49 @@
+"""Overload-robust serving over the shared engine (see
+``docs/serving.md``).
+
+The engine executes queries; this package decides *which* queries run,
+*when*, and *what happens when too many arrive*:
+
+* :class:`QueryService` — the long-lived front door: admission, lane
+  scheduling, chunk-boundary preemption, deadline enforcement,
+  degradation, typed shedding;
+* :class:`AdmissionController` / :class:`TenantPolicy` — per-tenant
+  in-flight quotas and memory budgets over bounded lane queues;
+* :class:`ServeRequest` / :class:`QueryOutcome` — the request contract
+  and the audited per-request outcome;
+* :func:`open_loop_workload` — seeded open-loop arrival schedules over
+  the TPC-H mix for benchmarks and chaos tests.
+"""
+
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    TenantPolicy,
+)
+from repro.serving.lanes import LaneQueue
+from repro.serving.request import (
+    BATCH,
+    INTERACTIVE,
+    LANES,
+    QueryOutcome,
+    ServeRequest,
+)
+from repro.serving.service import ChunkGate, QueryService, ServeReport
+from repro.serving.workload import QUERY_MIX, open_loop_workload
+
+__all__ = [
+    "BATCH",
+    "INTERACTIVE",
+    "LANES",
+    "QUERY_MIX",
+    "AdmissionController",
+    "AdmissionDecision",
+    "ChunkGate",
+    "LaneQueue",
+    "QueryOutcome",
+    "QueryService",
+    "ServeReport",
+    "ServeRequest",
+    "TenantPolicy",
+    "open_loop_workload",
+]

@@ -1,0 +1,72 @@
+"""Priority lanes: bounded queues with cache-affinity ordering.
+
+Two lanes (:data:`~repro.serving.request.INTERACTIVE`,
+:data:`~repro.serving.request.BATCH`).  Dispatch order is strict
+priority — the interactive lane drains completely before any batch
+request is considered.  Within the interactive lane order is FIFO
+(latency fairness); within the batch lane, requests whose persisted
+subplans are already in the engine's subplan cache sort first
+(descending covered count, FIFO among equals) — serving them while
+their entries are still resident turns queued work into cache installs
+instead of full executions.
+
+The queues themselves are unbounded here; the *admission controller*
+bounds depth before anything is pushed, so a request in a lane is
+always an admitted request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serving.request import BATCH, INTERACTIVE, LANES, ServeRequest
+
+__all__ = ["LaneQueue"]
+
+
+@dataclass
+class _Entry:
+    request: ServeRequest
+    seq: int
+    #: Persisted subplans of the request already in the subplan cache
+    #: (computed at admission; the snapshot ages, which is fine — it is
+    #: an ordering heuristic, not a correctness input).
+    affinity: int = 0
+
+
+class LaneQueue:
+    """The service's two priority queues."""
+
+    def __init__(self) -> None:
+        self._lanes: dict[str, list[_Entry]] = {lane: [] for lane in LANES}
+        self._seq = 0
+
+    def push(self, request: ServeRequest, *, affinity: int = 0) -> None:
+        self._seq += 1
+        self._lanes[request.lane].append(
+            _Entry(request=request, seq=self._seq, affinity=affinity))
+
+    def depth(self, lane: str) -> int:
+        return len(self._lanes[lane])
+
+    @property
+    def total_depth(self) -> int:
+        return sum(len(entries) for entries in self._lanes.values())
+
+    def pop(self, lane: str | None = None) -> ServeRequest | None:
+        """Next request to dispatch, or None when (the) lanes are empty.
+
+        Without *lane*: interactive strictly first, then batch.
+        """
+        lanes = (lane,) if lane is not None else (INTERACTIVE, BATCH)
+        for name in lanes:
+            entries = self._lanes[name]
+            if not entries:
+                continue
+            if name == BATCH:
+                best = min(entries, key=lambda e: (-e.affinity, e.seq))
+            else:
+                best = min(entries, key=lambda e: e.seq)
+            entries.remove(best)
+            return best.request
+        return None

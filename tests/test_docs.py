@@ -101,7 +101,7 @@ class TestCrossReferences:
     def test_docs_directory_complete(self):
         docs = {p.name for p in (ROOT / "docs").glob("*.md")}
         assert {"architecture.md", "calibration.md", "extending.md",
-                "observability.md", "tutorial.md"} <= docs
+                "observability.md", "serving.md", "tutorial.md"} <= docs
 
     def test_relative_markdown_links_resolve(self):
         """Every relative ``[text](path)`` link in the top-level docs
@@ -115,3 +115,15 @@ class TestCrossReferences:
         finally:
             sys.path.pop(0)
         assert broken_links(ROOT) == []
+
+    def test_backticked_path_references_resolve(self):
+        """Every backticked `src/...`-style path mentioned in prose
+        exists (same check tools/check_doc_links.py runs in CI)."""
+        import sys
+
+        sys.path.insert(0, str(ROOT / "tools"))
+        try:
+            from check_doc_links import broken_path_refs
+        finally:
+            sys.path.pop(0)
+        assert broken_path_refs(ROOT) == []
