@@ -19,31 +19,42 @@ Public API tour:
 * :mod:`repro.observe` — EXPLAIN/ANALYZE plan rendering
   (:func:`repro.explain`) and the engine's
   :class:`repro.MetricsRegistry` (see ``docs/observability.md``).
+* :mod:`repro.cluster` — scale-out execution: key-range sharding,
+  simulated nodes, EXCHANGE operators and the
+  :class:`repro.ClusterExecutor` driving them (see
+  ``docs/sharding.md``).
 """
 
+from repro.cluster import ClusterExecutor, ShardPlanner
 from repro.core.executor import DEFAULT_CHUNK_SIZE, AdamantExecutor
 from repro.core.graph import PrimitiveGraph, ScanSource
 from repro.engine import Engine, QueryRequest, QuerySession
 from repro.errors import AdamantError
 from repro.faults import FaultPlan, FaultSpec, RetryPolicy
-from repro.observe import MetricsRegistry, QueryProfile, explain
+from repro.hardware.specs import NodeSpec
+from repro.observe import MetricsRegistry, QueryProfile, explain, \
+    explain_distributed
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AdamantExecutor",
+    "ClusterExecutor",
     "DEFAULT_CHUNK_SIZE",
     "Engine",
     "FaultPlan",
     "FaultSpec",
     "MetricsRegistry",
+    "NodeSpec",
     "PrimitiveGraph",
     "QueryProfile",
     "QueryRequest",
     "QuerySession",
     "RetryPolicy",
     "ScanSource",
+    "ShardPlanner",
     "AdamantError",
     "explain",
+    "explain_distributed",
     "__version__",
 ]

@@ -35,6 +35,7 @@ from repro.hardware import (
     CPU_XEON_5220R,
     GPU_A100,
     GPU_RTX_2080_TI,
+    NETWORK_TIERS,
 )
 from repro.tpch import generate, reference
 from repro.tpch.queries import (q1, q3, q4, q5, q6, q10, q12, q14,
@@ -244,6 +245,14 @@ def _build_parser() -> argparse.ArgumentParser:
                                   "optimizer's top-K ranked candidates "
                                   "with cost breakdowns instead of the "
                                   "single-plan tree (K >= 1)")
+    explain_cmd.add_argument("--nodes", type=int, default=1,
+                             help="EXPLAIN DISTRIBUTED mode: render the "
+                                  "scale-out plan for this many "
+                                  "simulated nodes (>= 2)")
+    explain_cmd.add_argument("--network", choices=sorted(NETWORK_TIERS),
+                             default="eth_100g",
+                             help="network tier between nodes "
+                                  "(default eth_100g)")
 
     for name, help_text in (("run", "run one query under one model"),
                             ("compare", "run one query under all models")):
@@ -302,6 +311,15 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="write the run's metrics (.json -> "
                                   "JSON, otherwise Prometheus text "
                                   "format)")
+            cmd.add_argument("--nodes", type=int, default=1,
+                             help="shard the query across this many "
+                                  "simulated nodes (default 1 = "
+                                  "single-node); results stay "
+                                  "byte-identical")
+            cmd.add_argument("--network", choices=sorted(NETWORK_TIERS),
+                             default="eth_100g",
+                             help="network tier between nodes "
+                                  "(default eth_100g)")
     return parser
 
 
@@ -496,6 +514,78 @@ def _run_with_faults(args, graph, catalog, plan, *, analyze=False):
     return result, engine.metrics
 
 
+def _make_cluster(args):
+    """Build a ClusterExecutor per the CLI's --nodes/--network flags,
+    plugging the same device(s) single-node runs get (a GPU driver gets
+    the host fallback, so within-node failover still applies)."""
+    from repro.cluster import ClusterExecutor
+
+    driver, kind = DRIVERS[args.driver]
+    spec = SPECS[args.spec] if args.spec else (
+        GPU_RTX_2080_TI if kind == "GPU" else CPU_I7_8700)
+    cluster = ClusterExecutor(nodes=args.nodes, network=args.network)
+    cluster.plug_device("dev0", driver, spec,
+                        memory_limit=args.memory_limit, default=True)
+    return cluster
+
+
+def _cmd_run_distributed(args, plan) -> int:
+    """``run --nodes N``: shard the query across N simulated nodes.
+
+    A fault plan (``--faults``) arms node0 only — losing every device
+    of node0 demonstrates node-level failover: its shard re-runs on a
+    survivor and the answer still matches the oracle byte-for-byte.
+    """
+    if args.model == "auto":
+        print("--nodes does not combine with --model auto / --optimize "
+              "(the shard planner prices node counts instead; see "
+              "'repro explain --nodes')", file=sys.stderr)
+        return 2
+    if args.retry_budget is not None:
+        print("--retry-budget is a single-node engine flag; it does not "
+              "combine with --nodes", file=sys.stderr)
+        return 2
+    catalog = generate(args.sf, seed=args.seed)
+    module = _query_module(args.query)
+    if args.query in CATALOG_QUERIES:
+        def build():
+            return module.build(catalog)
+    else:
+        build = module.build
+    cluster = _make_cluster(args)
+    if plan is not None:
+        cluster.install_faults("node0", plan)
+    result = cluster.run(build, catalog, model=args.model,
+                         chunk_size=args.chunk_size,
+                         data_scale=args.data_scale,
+                         fuse=not args.no_fuse, adaptive=args.adaptive)
+    answer = module.finalize(result, catalog)
+    expected = _oracle(args, catalog)
+    matches = (answer == expected if not isinstance(answer, float)
+               else abs(answer - expected) < 1e-9)
+    stats = result.stats
+    print(f"query={args.query} model={args.model} driver={args.driver} "
+          f"fuse={not args.no_fuse} nodes={args.nodes} "
+          f"network={args.network}")
+    print(f"result: {answer}")
+    print(f"oracle match: {matches}")
+    print(f"simulated time: {stats.makespan:.6f} s "
+          f"(broadcast {stats.broadcast_seconds:.6f} s + local "
+          f"{max(stats.node_seconds.values()):.6f} s + "
+          f"{stats.exchange_strategy} {stats.exchange_seconds:.6f} s)")
+    for name in sorted(stats.node_seconds):
+        print(f"  node {name}: {stats.node_seconds[name]:.6f} s")
+    print(f"exchange: {stats.broadcast_bytes} broadcast bytes, "
+          f"{stats.exchange_bytes} partial bytes")
+    if plan is not None:
+        print(f"recovery: {stats.retries} retries, "
+              f"{stats.failovers} device failovers, "
+              f"{stats.node_failovers} node failovers")
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, cluster.metrics)
+    return 0 if matches else 1
+
+
 def cmd_explain(args) -> int:
     """Render the query's plan the way the executor would run it."""
     from repro.observe import explain, explain_plans
@@ -505,6 +595,20 @@ def cmd_explain(args) -> int:
     if args.plans is not None and args.plans < 1:
         print(f"--plans must be >= 1, got {args.plans}", file=sys.stderr)
         return 2
+    if args.nodes > 1:
+        from repro.observe import explain_distributed
+
+        if args.plans is not None:
+            print("--plans does not combine with --nodes",
+                  file=sys.stderr)
+            return 2
+        cluster = _make_cluster(args)
+        print(explain_distributed(graph, catalog, cluster=cluster,
+                                  model=args.model,
+                                  chunk_size=args.chunk_size,
+                                  data_scale=args.data_scale,
+                                  fuse=not args.no_fuse))
+        return 0
     executor = _make_executor(args)
     if args.plans is not None:
         print(explain_plans(graph, catalog, devices=executor.devices,
@@ -527,6 +631,11 @@ def cmd_run(args) -> int:
         return 2
     args.model = model
     plan = FaultPlan.parse(args.faults) if args.faults else None
+    if args.nodes > 1:
+        return _cmd_run_distributed(args, plan)
+    if args.nodes < 1:
+        print(f"--nodes must be >= 1, got {args.nodes}", file=sys.stderr)
+        return 2
     catalog = generate(args.sf, seed=args.seed)
     module, graph = _build_graph(args, catalog)
     if plan is not None or args.retry_budget is not None:

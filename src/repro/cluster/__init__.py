@@ -1,0 +1,86 @@
+"""Scale-out execution: sharded multi-node query processing.
+
+The cluster layer runs one query data-parallel across simulated *nodes*
+— each a full single-node stack (devices, hub, virtual clock) described
+by a :class:`~repro.hardware.specs.NodeSpec` — connected by a priced
+network tier.  Nothing below changes: a node executes the unchanged
+primitive graph on its key-range shard, and EXCHANGE operators
+(BROADCAST / GATHER / SHUFFLE) move tables and partials between nodes,
+merging with the same combiners chunked execution uses, so distributed
+answers are byte-identical to single-node ones.
+
+Modules:
+
+* :mod:`~repro.cluster.partition` — key-range sharding of TPC-H
+  catalogs (co-partitioned fact chain, replicated dimensions).
+* :mod:`~repro.cluster.exchange` — the exchange operators and the
+  partial-merge rules.
+* :mod:`~repro.cluster.node` — one simulated machine wrapping a
+  private engine, with node-loss escalation.
+* :mod:`~repro.cluster.executor` — :class:`ClusterExecutor`, the
+  distributed driver (partition, broadcast, execute, exchange, merge)
+  with node-level failover.
+* :mod:`~repro.cluster.planner` — :class:`ShardPlanner`, pricing
+  candidate node counts and the gather-vs-shuffle placement before
+  execution.
+"""
+
+from repro.cluster.exchange import (
+    ExchangeDecision,
+    merge_group_tables,
+    merge_outputs,
+    output_agg_fn,
+    partials_nbytes,
+    plan_exchange,
+)
+from repro.cluster.executor import (
+    ClusterExecutor,
+    DistributedPlan,
+    DistributedResult,
+    DistributedStats,
+    resolve_tier,
+)
+from repro.cluster.node import ClusterNode
+from repro.cluster.partition import (
+    CO_PARTITIONED_TABLES,
+    PARTITION_KEYS,
+    REPLICATED_TABLES,
+    KeyRange,
+    PartitionScheme,
+    make_scheme,
+    partition_catalog,
+    partition_table,
+    reassemble_table,
+)
+from repro.cluster.planner import (
+    DistributedEstimate,
+    ShardPlanner,
+    estimate_partial_bytes,
+)
+
+__all__ = [
+    "CO_PARTITIONED_TABLES",
+    "PARTITION_KEYS",
+    "REPLICATED_TABLES",
+    "ClusterExecutor",
+    "ClusterNode",
+    "DistributedEstimate",
+    "DistributedPlan",
+    "DistributedResult",
+    "DistributedStats",
+    "ExchangeDecision",
+    "KeyRange",
+    "PartitionScheme",
+    "ShardPlanner",
+    "estimate_partial_bytes",
+    "make_scheme",
+    "merge_group_tables",
+    "merge_outputs",
+    "output_agg_fn",
+    "partials_nbytes",
+    "partition_catalog",
+    "partition_table",
+    "plan_exchange",
+    "reassemble_table",
+    "resolve_tier",
+]

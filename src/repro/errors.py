@@ -215,6 +215,29 @@ class AdmissionRejected(RuntimeLayerError):
 
 
 # ---------------------------------------------------------------------------
+# Cluster layer
+# ---------------------------------------------------------------------------
+
+
+class ClusterError(RuntimeLayerError):
+    """Base class for scale-out (multi-node) execution failures."""
+
+
+class ClusterConfigError(ClusterError):
+    """A cluster was configured inconsistently (bad node count, unknown
+    network tier, shard list not matching the node list)."""
+
+
+class NodeLostError(ClusterError):
+    """Every device of a simulated node is gone; its shard must be
+    re-executed on a surviving node (shared-storage failover)."""
+
+    def __init__(self, message: str, *, node: str = "") -> None:
+        super().__init__(message)
+        self.node = node
+
+
+# ---------------------------------------------------------------------------
 # Substrates
 # ---------------------------------------------------------------------------
 

@@ -10,13 +10,26 @@ from repro.hardware.specs import (
     ALL_GPUS,
     CPU_I7_8700,
     CPU_XEON_5220R,
+    ETH_10G,
+    ETH_25G,
+    ETH_100G,
     FPGA_ALVEO_U250,
     GIB,
     GPU_A100,
     GPU_RTX_2080_TI,
+    IB_HDR,
+    IB_NDR,
+    INTRA_NODE_TIERS,
+    NETWORK_TIERS,
+    NVLINK_3,
+    PCIE_3_X16,
+    PCIE_4_X16,
+    PCIE_5_X16,
     SETUPS,
     DeviceKind,
     DeviceSpec,
+    InterconnectSpec,
+    NodeSpec,
     Sdk,
 )
 
@@ -28,6 +41,8 @@ __all__ = [
     "TransferDirection",
     "DeviceKind",
     "DeviceSpec",
+    "InterconnectSpec",
+    "NodeSpec",
     "Sdk",
     "GIB",
     "ALL_GPUS",
@@ -37,4 +52,15 @@ __all__ = [
     "FPGA_ALVEO_U250",
     "CPU_I7_8700",
     "CPU_XEON_5220R",
+    "PCIE_3_X16",
+    "PCIE_4_X16",
+    "PCIE_5_X16",
+    "NVLINK_3",
+    "ETH_10G",
+    "ETH_25G",
+    "ETH_100G",
+    "IB_HDR",
+    "IB_NDR",
+    "INTRA_NODE_TIERS",
+    "NETWORK_TIERS",
 ]

@@ -16,6 +16,8 @@ __all__ = [
     "DeviceKind",
     "Sdk",
     "DeviceSpec",
+    "InterconnectSpec",
+    "NodeSpec",
     "GPU_RTX_2080_TI",
     "GPU_A100",
     "GPU_GTX_970",
@@ -27,6 +29,17 @@ __all__ = [
     "ALL_GPUS",
     "SETUPS",
     "GIB",
+    "PCIE_3_X16",
+    "PCIE_4_X16",
+    "PCIE_5_X16",
+    "NVLINK_3",
+    "ETH_10G",
+    "ETH_25G",
+    "ETH_100G",
+    "IB_HDR",
+    "IB_NDR",
+    "INTRA_NODE_TIERS",
+    "NETWORK_TIERS",
 ]
 
 GIB = 1024**3
@@ -75,6 +88,92 @@ class DeviceSpec:
     mem_bandwidth: float
     interconnect_bandwidth: float
     compute_units: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """One interconnect *tier*: a named point on the bandwidth/latency
+    landscape data has to cross.
+
+    Three scopes use the same shape:
+
+    * **host<->device** (PCIe generations, NVLink) — the classic
+      transfer bottleneck the paper studies; plugging a device through
+      :class:`~repro.cluster.ClusterExecutor` with an ``intra`` tier
+      overrides the device spec's ``interconnect_bandwidth``;
+    * **node<->node** (Ethernet / InfiniBand tiers) — what the
+      scale-out layer's EXCHANGE operators are priced against
+      (:func:`repro.planner.cost.network_seconds`).
+
+    Attributes:
+        name: Marketing-style tier name (shown in EXPLAIN and benches).
+        bandwidth: Sustained point-to-point bandwidth in bytes/second
+            (per direction; links are modeled full-duplex).
+        latency_s: Per-message setup latency in seconds (one hop).
+        scope: ``"intra"`` (host<->device) or ``"network"``
+            (node<->node); informational.
+    """
+
+    name: str
+    bandwidth: float
+    latency_s: float
+    scope: str = "network"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+# Host<->device tiers (PCIe pinned-transfer generations + NVLink).
+PCIE_3_X16 = InterconnectSpec("PCIe 3.0 x16", 12e9, 5e-6, scope="intra")
+PCIE_4_X16 = InterconnectSpec("PCIe 4.0 x16", 24e9, 5e-6, scope="intra")
+PCIE_5_X16 = InterconnectSpec("PCIe 5.0 x16", 48e9, 5e-6, scope="intra")
+NVLINK_3 = InterconnectSpec("NVLink 3.0", 300e9, 2e-6, scope="intra")
+
+# Node<->node network tiers (NIC-limited, full-duplex).
+ETH_10G = InterconnectSpec("10GbE", 1.25e9, 50e-6)
+ETH_25G = InterconnectSpec("25GbE", 3.125e9, 30e-6)
+ETH_100G = InterconnectSpec("100GbE", 12.5e9, 10e-6)
+IB_HDR = InterconnectSpec("InfiniBand HDR", 25e9, 2e-6)
+IB_NDR = InterconnectSpec("InfiniBand NDR", 50e9, 1.5e-6)
+
+INTRA_NODE_TIERS: dict[str, InterconnectSpec] = {
+    "pcie3": PCIE_3_X16,
+    "pcie4": PCIE_4_X16,
+    "pcie5": PCIE_5_X16,
+    "nvlink3": NVLINK_3,
+}
+
+NETWORK_TIERS: dict[str, InterconnectSpec] = {
+    "eth_10g": ETH_10G,
+    "eth_25g": ETH_25G,
+    "eth_100g": ETH_100G,
+    "ib_hdr": IB_HDR,
+    "ib_ndr": IB_NDR,
+}
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of one simulated cluster node.
+
+    A node owns its own devices, hub and virtual clock
+    (:class:`~repro.cluster.ClusterNode`); the spec pins down the two
+    interconnect tiers everything it sends or receives crosses.
+
+    Attributes:
+        name: Node id used in plan annotations and EXPLAIN output.
+        network: The node's NIC tier (node<->node exchanges).
+        interconnect: Optional host<->device override; when set, every
+            device plugged into the node runs behind this tier's
+            bandwidth instead of its device spec's default.
+    """
+
+    name: str
+    network: InterconnectSpec = ETH_100G
+    interconnect: InterconnectSpec | None = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.name

@@ -21,6 +21,7 @@ from repro.observe.explain import (
     estimate_graph_seconds,
     estimate_node_seconds,
     explain,
+    explain_distributed,
     explain_plans,
 )
 from repro.observe.metrics import (
@@ -41,5 +42,6 @@ __all__ = [
     "estimate_node_seconds",
     "explain",
     "explain_admission",
+    "explain_distributed",
     "explain_plans",
 ]

@@ -39,8 +39,8 @@ from repro.planner.fusion import FUSED_PRIMITIVES
 from repro.planner.ir import DEFAULT_CHUNK_SIZE as _DEFAULT_CHUNK_SIZE
 from repro.storage import Catalog
 
-__all__ = ["explain", "explain_plans", "estimate_node_seconds",
-           "estimate_graph_seconds"]
+__all__ = ["explain", "explain_distributed", "explain_plans",
+           "estimate_node_seconds", "estimate_graph_seconds"]
 
 
 def _fmt_seconds(seconds: float) -> str:
@@ -191,6 +191,80 @@ def explain(graph: PrimitiveGraph, catalog: Catalog, *,
                 node, devices[node.device or default_device],
                 estimates[nid], cached=nid in cached_nodes))
     lines.append(f"  estimated total: {_fmt_seconds(total)}")
+    return "\n".join(lines)
+
+
+def explain_distributed(graph: PrimitiveGraph, catalog: Catalog, *,
+                        cluster, model: str = "chunked",
+                        chunk_size: int = _DEFAULT_CHUNK_SIZE,
+                        data_scale: int = 1, fuse: bool = False) -> str:
+    """EXPLAIN DISTRIBUTED: render the scale-out plan for *graph*.
+
+    Shows what :meth:`~repro.cluster.ClusterExecutor.run` would do —
+    how every scanned table is distributed (co-partitioned key ranges,
+    replicated, broadcast with its shipped bytes), the shard-local
+    estimate per node, and the priced GATHER-vs-SHUFFLE exchange choice
+    — without executing anything.  Like :func:`explain`, the output is
+    a deterministic function of (graph, catalog, cluster, options);
+    the golden tests assert byte-identical renders.
+    """
+    from repro.cluster.planner import ShardPlanner
+
+    if fuse:
+        from repro.planner.fusion import fuse_graph
+        graph = fuse_graph(graph)
+    graph.validate()
+    estimate = ShardPlanner(cluster).estimate(
+        graph, catalog, cluster.num_nodes, data_scale=data_scale)
+    distribution = cluster.classify_tables(graph)
+    bcast = cluster.broadcast_columns(graph, catalog, distribution,
+                                      data_scale)
+    from repro.cluster.partition import PARTITION_KEYS, make_scheme
+    scheme = make_scheme(catalog, cluster.num_nodes)
+    tier = cluster.network
+
+    lines = [
+        f"EXPLAIN DISTRIBUTED {graph.name}",
+        f"  model={model}  chunk_size={chunk_size}  "
+        f"data_scale={data_scale}  fuse={'on' if fuse else 'off'}",
+        f"  cluster: {cluster.num_nodes} nodes  network={tier.name} "
+        f"({tier.bandwidth / 1e9:g}GB/s, {tier.latency_s * 1e6:g}us)",
+    ]
+    node0 = cluster.nodes[0]
+    for name in sorted(node0.devices):
+        device = node0.devices[name]
+        lines.append(
+            f"  device {name} (per node): {device.spec.kind.value}/"
+            f"{device.sdk.value} ({device.spec.name})")
+    lines.append("  partitioning:")
+    for table in sorted(distribution):
+        how = distribution[table]
+        if how == "co-partitioned":
+            ranges = " / ".join(str(r) for r in scheme.ranges[table])
+            lines.append(f"    {table}: co-partitioned on "
+                         f"{PARTITION_KEYS[table]}  {ranges}")
+        elif how == "broadcast":
+            lines.append(f"    {table}: broadcast  "
+                         f"({_fmt_bytes(bcast.get(table, 0))} scanned)")
+        else:
+            lines.append(f"    {table}: replicated")
+    for index, node in enumerate(cluster.nodes):
+        local = estimate.local_per_node[index]
+        partial = estimate.partial_bytes[index]
+        lines.append(
+            f"  node {node.name}: shard est={_fmt_seconds(local)}  "
+            f"partials={_fmt_bytes(partial)}")
+    exchange = estimate.exchange
+    lines.append(
+        f"  exchange: merged={_fmt_bytes(exchange.merged_bytes)}  "
+        f"gather={_fmt_seconds(exchange.gather_est)}  "
+        f"shuffle={_fmt_seconds(exchange.shuffle_est)}  "
+        f"chosen={exchange.strategy.upper()}")
+    lines.append(
+        f"  estimated total: {_fmt_seconds(estimate.total_seconds)}  "
+        f"(broadcast {_fmt_seconds(estimate.broadcast_seconds)} + "
+        f"local {_fmt_seconds(estimate.local_seconds)} + "
+        f"exchange {_fmt_seconds(exchange.seconds)})")
     return "\n".join(lines)
 
 

@@ -141,6 +141,20 @@ METRIC_CATALOG: dict[str, tuple[str, tuple[str, ...], str]] = {
     "adamant_serving_lane_latency_seconds": (
         "histogram", ("lane",),
         "Arrival-to-completion latency per serving lane."),
+    "adamant_cluster_nodes": (
+        "gauge", (),
+        "Simulated nodes in the scale-out cluster."),
+    "adamant_exchange_bytes_total": (
+        "counter", ("kind",),
+        "Logical bytes moved by exchange operators "
+        "(broadcast / partial)."),
+    "adamant_exchange_seconds_total": (
+        "counter", ("kind",),
+        "Simulated network seconds spent in exchanges "
+        "(broadcast / gather / shuffle)."),
+    "adamant_node_failovers_total": (
+        "counter", ("node",),
+        "Shards re-executed on a survivor after losing a node."),
 }
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")

@@ -49,14 +49,20 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
 
 __all__ = [
     "DEFAULT_SELECTIVITY",
+    "MERGE_STEP_FACTOR",
     "SELECTIVE_PRIMITIVES",
     "CostOverlayStore",
     "PipelineCost",
     "PlanCost",
+    "broadcast_seconds",
     "estimate_graph_seconds",
     "estimate_node_seconds",
     "estimate_pipeline_seconds",
     "estimate_plan_seconds",
+    "gather_seconds",
+    "merge_seconds",
+    "network_seconds",
+    "shuffle_seconds",
 ]
 
 #: Primitives that shrink the row domain for everything downstream of
@@ -71,6 +77,97 @@ _NOMINAL_ROWS = 1024
 
 #: Nominal byte width of a routed external input (hash table row).
 _ROUTED_ROW_BYTES = 16
+
+#: Host-side merge of exchanged partials touches every byte a handful of
+#: times (concatenate, sort-unique, scatter-add); priced as this many
+#: memory-bandwidth passes over the merged volume.
+MERGE_STEP_FACTOR = 4.0
+
+
+# ---------------------------------------------------------------------------
+# Network-hop pricing (scale-out exchanges; see repro.cluster)
+# ---------------------------------------------------------------------------
+
+
+def network_seconds(nbytes: float, tier, *, hops: int = 1) -> float:
+    """Seconds for *nbytes* to cross *tier* (an
+    :class:`~repro.hardware.specs.InterconnectSpec`) in *hops* messages.
+
+    The atom every EXCHANGE estimate composes from: per-hop setup
+    latency plus volume over the tier's sustained bandwidth.  Links are
+    full-duplex, so concurrent sends and receives on different node
+    pairs do not queue against each other — callers model contention by
+    pricing the *busiest* link.
+    """
+    if nbytes <= 0 and hops <= 0:
+        return 0.0
+    return max(0, hops) * tier.latency_s + max(0.0, nbytes) / tier.bandwidth
+
+
+def merge_seconds(nbytes: float, mem_bandwidth: float) -> float:
+    """Host-side cost of merging *nbytes* of exchanged partials
+    (:data:`MERGE_STEP_FACTOR` memory passes on the merging node)."""
+    if nbytes <= 0:
+        return 0.0
+    return float(nbytes) * MERGE_STEP_FACTOR / mem_bandwidth
+
+
+def broadcast_seconds(table_bytes: float, tier, num_nodes: int) -> float:
+    """BROADCAST exchange: replicate a key-range-partitioned table so
+    every node holds it in full.
+
+    Each node owns ``1/N`` of the table and must receive the remaining
+    ``(N-1)/N`` from its peers; receives proceed in parallel on
+    full-duplex links, so the wall time is one node's receive leg.
+    """
+    if num_nodes <= 1:
+        return 0.0
+    recv = float(table_bytes) * (num_nodes - 1) / num_nodes
+    return network_seconds(recv, tier, hops=num_nodes - 1)
+
+
+def gather_seconds(partial_bytes: "Iterable[float]", tier,
+                   mem_bandwidth: float) -> float:
+    """GATHER exchange: every node ships its partials to the
+    coordinator (the first entry of *partial_bytes*), which merges them
+    serially.
+
+    The coordinator's NIC is the bottleneck: it receives the sum of
+    every other node's partial volume through one link, then pays the
+    host-side merge over the full volume.
+    """
+    sizes = [float(b) for b in partial_bytes]
+    if len(sizes) <= 1:
+        return 0.0
+    recv = sum(sizes[1:])
+    return network_seconds(recv, tier, hops=len(sizes) - 1) \
+        + merge_seconds(sum(sizes), mem_bandwidth)
+
+
+def shuffle_seconds(partial_bytes: "Iterable[float]", tier,
+                    mem_bandwidth: float, *,
+                    merged_bytes: float | None = None) -> float:
+    """SHUFFLE exchange: partials are hash/range-repartitioned by group
+    key across all nodes, each node merges its key range in parallel,
+    and the coordinator gathers the merged ranges.
+
+    Per-node receive volume drops to roughly ``total/N`` and the merge
+    parallelizes — the classic win over GATHER once partials are large
+    — at the price of a second hop for the final collection.
+    """
+    sizes = [float(b) for b in partial_bytes]
+    n = len(sizes)
+    if n <= 1:
+        return 0.0
+    total = sum(sizes)
+    # Repartition leg: node j receives (total - its own) / N through its
+    # NIC; the busiest link is the one receiving the most foreign bytes.
+    recv = max((total - b) / n for b in sizes)
+    repartition = network_seconds(recv, tier, hops=n - 1)
+    parallel_merge = merge_seconds(total / n, mem_bandwidth)
+    merged = total if merged_bytes is None else float(merged_bytes)
+    collect = network_seconds(merged * (n - 1) / n, tier, hops=n - 1)
+    return repartition + parallel_merge + collect
 
 
 def _column_ndv(catalog: Catalog, ref: str) -> int:

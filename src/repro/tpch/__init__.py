@@ -1,11 +1,12 @@
 """TPC-H workload substrate: schema, generator, sizes, reference oracles."""
 
 from repro.tpch import reference, sizes
-from repro.tpch.dbgen import generate
+from repro.tpch.dbgen import generate, generate_partitioned
 from repro.tpch.schema import COLUMN_WIDTH_BYTES, TPCH_TABLES, table_rows
 
 __all__ = [
     "generate",
+    "generate_partitioned",
     "reference",
     "sizes",
     "TPCH_TABLES",

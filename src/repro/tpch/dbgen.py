@@ -25,6 +25,7 @@ from repro.storage import Catalog, Column, DictionaryColumn, Table, date_to_int
 
 __all__ = [
     "generate",
+    "generate_partitioned",
     "MKT_SEGMENTS",
     "ORDER_PRIORITIES",
     "SHIP_MODES",
@@ -122,6 +123,31 @@ def generate(scale_factor: float = 0.01, *, seed: int = 42,
         if "lineitem" in wanted:
             catalog.add(lineitem)
     return catalog
+
+
+def generate_partitioned(scale_factor: float = 0.01, nodes: int = 2, *,
+                         seed: int = 42,
+                         tables: list[str] | None = None):
+    """Generate a TPC-H catalog already sharded across *nodes*.
+
+    Convenience front door for scale-out experiments: generates the
+    same byte-identical catalog :func:`generate` would (same
+    ``(scale_factor, seed)`` stream), then key-range partitions it with
+    :func:`repro.cluster.partition.partition_catalog` — orders/lineitem
+    co-partitioned on orderkey, dimensions replicated.
+
+    Returns ``(shards, scheme)``: one :class:`~repro.storage.Catalog`
+    per node plus the :class:`~repro.cluster.PartitionScheme` that
+    placed them (reusable for routing and EXPLAIN).
+    """
+    # Imported lazily: repro.cluster sits above the workload layer and
+    # importing it at module scope would cycle through the executor.
+    from repro.cluster.partition import make_scheme, partition_catalog
+
+    catalog = generate(scale_factor, seed=seed, tables=tables)
+    scheme = make_scheme(catalog, nodes)
+    shards = partition_catalog(catalog, nodes, scheme=scheme)
+    return shards, scheme
 
 
 # ---------------------------------------------------------------------------

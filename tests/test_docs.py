@@ -101,7 +101,8 @@ class TestCrossReferences:
     def test_docs_directory_complete(self):
         docs = {p.name for p in (ROOT / "docs").glob("*.md")}
         assert {"architecture.md", "calibration.md", "extending.md",
-                "observability.md", "serving.md", "tutorial.md"} <= docs
+                "observability.md", "serving.md", "sharding.md",
+                "tutorial.md"} <= docs
 
     def test_relative_markdown_links_resolve(self):
         """Every relative ``[text](path)`` link in the top-level docs

@@ -13,9 +13,10 @@ from pathlib import Path
 
 import pytest
 
-from repro.devices import OpenMPDevice
-from repro.hardware import CPU_I7_8700
-from repro.observe import explain, explain_plans
+from repro.cluster import ClusterExecutor
+from repro.devices import CudaDevice, OpenMPDevice
+from repro.hardware import CPU_I7_8700, GPU_RTX_2080_TI
+from repro.observe import explain, explain_distributed, explain_plans
 from repro.tpch.queries import q3, q4, q6
 from tests.conftest import make_executor
 
@@ -29,6 +30,12 @@ def _single_device():
 def _two_device():
     return make_executor(name="gpu0", extra_devices=[
         ("cpu0", OpenMPDevice, CPU_I7_8700)])
+
+
+def _cluster(nodes=2, network="eth_100g"):
+    cluster = ClusterExecutor(nodes=nodes, network=network)
+    cluster.plug_device("gpu0", CudaDevice, GPU_RTX_2080_TI)
+    return cluster
 
 
 # name -> (graph builder, executor factory, explain kwargs)
@@ -60,8 +67,29 @@ PLANS_SCENARIOS = {
                             _two_device, dict(chunk_size=1024, top_k=5)),
 }
 
+# EXPLAIN DISTRIBUTED snapshots: the scale-out plan rendering
+# (partitioning, per-node estimates, the priced exchange choice) must
+# be as byte-stable as the single-node tree.  name -> (builder,
+# cluster factory, explain_distributed kwargs).
+DISTRIBUTED_SCENARIOS = {
+    "dist_q6_two_node": (
+        lambda catalog: q6.build(), lambda: _cluster(2),
+        dict(chunk_size=1024, data_scale=4)),
+    "dist_q3_two_node": (
+        lambda catalog: q3.build(catalog), lambda: _cluster(2),
+        dict(chunk_size=1024, data_scale=4)),
+    "dist_q3_four_node_slow_net": (
+        lambda catalog: q3.build(catalog),
+        lambda: _cluster(4, network="eth_10g"),
+        dict(chunk_size=1024, data_scale=4, fuse=True)),
+}
+
 
 def render(name: str, tiny_catalog) -> str:
+    if name in DISTRIBUTED_SCENARIOS:
+        build, factory, kwargs = DISTRIBUTED_SCENARIOS[name]
+        return explain_distributed(build(tiny_catalog), tiny_catalog,
+                                   cluster=factory(), **kwargs)
     if name in PLANS_SCENARIOS:
         build, factory, kwargs = PLANS_SCENARIOS[name]
         executor = factory()
@@ -76,7 +104,8 @@ def render(name: str, tiny_catalog) -> str:
                    default_device=executor.default_device, **kwargs)
 
 
-@pytest.mark.parametrize("name", sorted(SCENARIOS) + sorted(PLANS_SCENARIOS))
+@pytest.mark.parametrize("name", sorted(SCENARIOS) + sorted(PLANS_SCENARIOS)
+                         + sorted(DISTRIBUTED_SCENARIOS))
 def test_explain_matches_golden(name, tiny_catalog, update_golden):
     text = render(name, tiny_catalog) + "\n"
     path = GOLDEN_DIR / f"{name}.txt"
@@ -97,6 +126,7 @@ def test_explain_matches_golden(name, tiny_catalog, update_golden):
 
 def test_golden_files_have_no_strays():
     """Every checked-in snapshot corresponds to a scenario."""
-    known = {f"{name}.txt" for name in (*SCENARIOS, *PLANS_SCENARIOS)}
+    known = {f"{name}.txt" for name in (*SCENARIOS, *PLANS_SCENARIOS,
+                                        *DISTRIBUTED_SCENARIOS)}
     present = {p.name for p in GOLDEN_DIR.glob("*.txt")}
     assert present <= known, present - known
