@@ -1,0 +1,258 @@
+"""New-device landscape: RT-core and coupled-CPU-GPU frontiers.
+
+The tentpole claim of the plug-in architecture is that a co-processor
+with a *radically different* cost shape — RT cores pricing hash probes
+as sub-linear BVH traversal (RTCUDB), an integrated APU whose transfers
+are free but whose compute is slow (He et al.) — integrates through the
+ten device interfaces alone, and the cost-based optimizer immediately
+prices it into hybrid plans with zero engine or planner edits.
+
+Two sections land in ``BENCH_devices.json``:
+
+* ``landscape`` — every device class alone under ``model="auto"``
+  (each processor gets its own frontier: model x fusion x chunk), for a
+  sparse-probe query (Q19) and a transfer-bound streaming query (Q6);
+* ``fleet`` — the optimizer over the seed fleet (GPU+CPU+FPGA) versus
+  the extended fleet (seed + RT-core + APU), executed cold; the
+  extended plan must *use* the new silicon and beat the seed plan's
+  simulated makespan.
+
+Assertions (the acceptance bar for the device plug-ins):
+
+* Q19 landscape: the RT-core device beats every seed device — probes
+  dominate and traversal is sub-linear;
+* Q6 landscape: both new devices beat every seed device — Q6 is
+  transfer-bound and the APU ships no bytes while the RT part rides
+  the fastest memory system;
+* fleet: auto places Q19's probe pipeline on the RT-core and Q6's
+  scan on the APU, each beating the best seed-fleet plan, with
+  byte-identical answers.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.bench import Report, fmt_seconds
+from repro.core.executor import AdamantExecutor
+from repro.devices import (
+    CoupledDevice,
+    CudaDevice,
+    FpgaDevice,
+    OpenMPDevice,
+    RTCoreDevice,
+    register_coupled_kernels,
+    register_rtcore_kernels,
+)
+from repro.hardware import (
+    APU_RYZEN_7_8700G,
+    CPU_I7_8700,
+    CPU_XEON_5220R,
+    FPGA_ALVEO_U250,
+    GPU_RTX_2080_TI,
+    GPU_RTX_3090,
+)
+from repro.planner.optimizer import PlanOptimizer
+from repro.tpch.queries import q6, q19
+
+from benchmarks.conftest import DATA_SCALE, PAPER_CHUNK, PHYSICAL_SF
+
+BENCH_JSON = (pathlib.Path(__file__).resolve().parents[1]
+              / "BENCH_devices.json")
+
+#: label -> (driver, spec, seed-fleet member?)
+CONFIGS = [
+    ("OpenMP / i7-8700", OpenMPDevice, CPU_I7_8700, True),
+    ("OpenMP / Xeon 5220R", OpenMPDevice, CPU_XEON_5220R, True),
+    ("CUDA / RTX 2080 Ti", CudaDevice, GPU_RTX_2080_TI, True),
+    ("OpenCL / Alveo U250", FpgaDevice, FPGA_ALVEO_U250, True),
+    ("RT cores / RTX 3090", RTCoreDevice, GPU_RTX_3090, False),
+    ("Coupled / Ryzen 8700G", CoupledDevice, APU_RYZEN_7_8700G, False),
+]
+
+QUERIES = {
+    "q19": lambda catalog: q19.build(catalog),  # sparse-probe join
+    "q6": lambda catalog: q6.build(),           # transfer-bound scan
+}
+
+
+def _register_new_kernels(executor) -> None:
+    register_rtcore_kernels(executor.registry)
+    register_coupled_kernels(executor.registry)
+
+
+def _single(driver, spec):
+    executor = AdamantExecutor()
+    executor.plug_device("dev0", driver, spec, default=True)
+    _register_new_kernels(executor)
+    return executor
+
+
+def _fleet(extended: bool):
+    executor = AdamantExecutor()
+    executor.plug_device("gpu", CudaDevice, GPU_RTX_2080_TI, default=True)
+    executor.plug_device("cpu", OpenMPDevice, CPU_XEON_5220R)
+    executor.plug_device("fpga", FpgaDevice, FPGA_ALVEO_U250)
+    if extended:
+        executor.plug_device("rt", RTCoreDevice, GPU_RTX_3090)
+        executor.plug_device("apu", CoupledDevice, APU_RYZEN_7_8700G)
+    _register_new_kernels(executor)
+    return executor
+
+
+def run_devices_bench(catalog) -> dict:
+    landscape = {}
+    for qname, build in QUERIES.items():
+        rows = {}
+        for label, driver, spec, is_seed in CONFIGS:
+            executor = _single(driver, spec)
+            result = executor.run(build(catalog), catalog, model="auto",
+                                  chunk_size=PAPER_CHUNK,
+                                  data_scale=DATA_SCALE)
+            chosen = PlanOptimizer(
+                catalog, executor.devices, default_device="dev0",
+                data_scale=DATA_SCALE,
+            ).search(build(catalog), chunk_size=PAPER_CHUNK).chosen
+            rows[label] = {
+                "makespan_s": result.stats.makespan,
+                "seed_device": is_seed,
+                "chosen": chosen.describe(),
+            }
+        landscape[qname] = rows
+
+    fleet = {}
+    for qname, build in QUERIES.items():
+        entry = {}
+        results = {}
+        for key, extended in (("seed", False), ("extended", True)):
+            executor = _fleet(extended)
+            result = executor.run(build(catalog), catalog, model="auto",
+                                  chunk_size=PAPER_CHUNK,
+                                  data_scale=DATA_SCALE)
+            chosen = PlanOptimizer(
+                catalog, executor.devices, default_device="gpu",
+                data_scale=DATA_SCALE,
+            ).search(build(catalog), chunk_size=PAPER_CHUNK).chosen
+            results[key] = result
+            entry[key] = {
+                "makespan_s": result.stats.makespan,
+                "chosen": chosen.describe(),
+                "devices_used": sorted({dev for _, dev
+                                        in chosen.placement}),
+            }
+        entry["speedup"] = (entry["seed"]["makespan_s"]
+                            / entry["extended"]["makespan_s"])
+        entry["answers_equal"] = _outputs_equal(results["seed"],
+                                                results["extended"])
+        fleet[qname] = entry
+
+    return {
+        "workload": {
+            "sf": PHYSICAL_SF,
+            "data_scale": DATA_SCALE,
+            "chunk_size": PAPER_CHUNK,
+            "queries": {"q19": "sparse-probe join (three OR clauses)",
+                        "q6": "transfer-bound streaming scan"},
+            "seed_fleet": ["gpu (RTX 2080 Ti, CUDA)",
+                           "cpu (Xeon 5220R, OpenMP)",
+                           "fpga (Alveo U250, OpenCL)"],
+            "extended_fleet_adds": ["rt (RTX 3090 RT cores)",
+                                    "apu (Ryzen 7 8700G, coupled)"],
+            "cold": "fresh executor per run; no overlay calibration",
+        },
+        "landscape": landscape,
+        "fleet": fleet,
+    }
+
+
+def _outputs_equal(a, b) -> bool:
+    import numpy as np
+
+    def same(x, y):
+        if isinstance(x, np.ndarray):
+            return isinstance(y, np.ndarray) and np.array_equal(x, y)
+        if isinstance(x, dict):
+            return sorted(x) == sorted(y) and all(
+                same(v, y[k]) for k, v in x.items())
+        if isinstance(x, (list, tuple)):
+            return len(x) == len(y) and all(
+                same(u, v) for u, v in zip(x, y))
+        if hasattr(x, "__dict__"):
+            xs, ys = vars(x), vars(y)
+            # Hash-table ``positions`` depend on chunk boundaries (the
+            # two fleets may pick different chunk sizes); the semantic
+            # content is keys/offsets/payload.
+            skip = {"positions"} if {"keys", "positions"} <= set(xs) \
+                else set()
+            return sorted(xs) == sorted(ys) and all(
+                same(v, ys[k]) for k, v in xs.items() if k not in skip)
+        return bool(x == y)
+
+    if sorted(a.outputs) != sorted(b.outputs):
+        return False
+    return all(same(a.output(n), b.output(n)) for n in a.outputs)
+
+
+def test_new_devices(benchmark, catalog):
+    summary = benchmark.pedantic(run_devices_bench, args=(catalog,),
+                                 rounds=1, iterations=1)
+    BENCH_JSON.write_text(json.dumps(summary, indent=2) + "\n")
+
+    for qname in QUERIES:
+        rows = summary["landscape"][qname]
+        report = Report(
+            f"devices_{qname}",
+            f"{qname.upper()} per-device frontier (auto model/chunk/"
+            f"fusion), logical SF ~{PHYSICAL_SF * DATA_SCALE:.0f}")
+        best = min(r["makespan_s"] for r in rows.values())
+        report.table(
+            ["configuration", "time", "vs best", "auto chose"],
+            [[label, fmt_seconds(r["makespan_s"]),
+              f"{r['makespan_s'] / best:.2f}x", r["chosen"]]
+             for label, r in sorted(rows.items(),
+                                    key=lambda kv: kv[1]["makespan_s"])])
+        report.emit()
+
+    fleet_rows = []
+    for qname, entry in summary["fleet"].items():
+        fleet_rows.append([
+            qname,
+            fmt_seconds(entry["seed"]["makespan_s"]),
+            fmt_seconds(entry["extended"]["makespan_s"]),
+            f"{entry['speedup']:.2f}x",
+            entry["extended"]["chosen"],
+        ])
+    report = Report("devices_fleet",
+                    "Optimizer over seed fleet vs seed+RT-core+APU "
+                    "(executed cold)")
+    report.table(["query", "seed fleet", "extended fleet", "speedup",
+                  "extended auto chose"], fleet_rows)
+    report.emit()
+
+    land = summary["landscape"]
+    seed_best = {
+        q: min(r["makespan_s"] for r in land[q].values()
+               if r["seed_device"]) for q in QUERIES}
+    # Sparse probes: sub-linear BVH traversal beats every seed device.
+    assert land["q19"]["RT cores / RTX 3090"]["makespan_s"] \
+        < seed_best["q19"]
+    # Transfer-bound: free hand-offs (APU) and the fastest memory
+    # system (RT part) both beat every PCIe-attached seed device.
+    assert land["q6"]["Coupled / Ryzen 8700G"]["makespan_s"] \
+        < seed_best["q6"]
+    assert land["q6"]["RT cores / RTX 3090"]["makespan_s"] \
+        < seed_best["q6"]
+
+    fleet = summary["fleet"]
+    # The optimizer must *select* the new silicon (no hand placement) …
+    assert "rt" in fleet["q19"]["extended"]["devices_used"], \
+        fleet["q19"]["extended"]
+    assert "apu" in fleet["q6"]["extended"]["devices_used"], \
+        fleet["q6"]["extended"]
+    # … and the hybrid plans must beat the best seed-fleet plans.
+    assert fleet["q19"]["speedup"] > 1.0, fleet["q19"]
+    assert fleet["q6"]["speedup"] > 1.0, fleet["q6"]
+    # Plans changed; answers must not have.
+    for qname in QUERIES:
+        assert fleet[qname]["answers_equal"], qname

@@ -22,7 +22,13 @@ import sys
 
 from repro.core.executor import DEFAULT_CHUNK_SIZE, AdamantExecutor
 from repro.core.models import MODELS
-from repro.devices import CudaDevice, OpenCLDevice, OpenMPDevice
+from repro.devices import (
+    CoupledDevice,
+    CudaDevice,
+    OpenCLDevice,
+    OpenMPDevice,
+    RTCoreDevice,
+)
 from repro.errors import (
     AdamantError,
     FaultConfigError,
@@ -31,10 +37,12 @@ from repro.errors import (
 from repro.faults import SCENARIOS, FaultPlan, RetryPolicy
 from repro.hardware import (
     ALL_GPUS,
+    APU_RYZEN_7_8700G,
     CPU_I7_8700,
     CPU_XEON_5220R,
     GPU_A100,
     GPU_RTX_2080_TI,
+    GPU_RTX_3090,
     NETWORK_TIERS,
 )
 from repro.tpch import generate, reference
@@ -62,14 +70,38 @@ DRIVERS = {
     "opencl-gpu": (OpenCLDevice, "GPU"),
     "opencl-cpu": (OpenCLDevice, "CPU"),
     "openmp": (OpenMPDevice, "CPU"),
+    "rtcore": (RTCoreDevice, "GPU"),
+    "coupled": (CoupledDevice, "GPU"),
 }
 
 SPECS = {
     "2080ti": GPU_RTX_2080_TI,
+    "3090": GPU_RTX_3090,
+    "8700g": APU_RYZEN_7_8700G,
     "a100": GPU_A100,
     "i7": CPU_I7_8700,
     "xeon": CPU_XEON_5220R,
 }
+
+#: Per-driver default spec where the generic GPU/CPU default would be
+#: wrong silicon (RT cores need a part that has them; the coupled
+#: driver needs an APU whose CPU and GPU share physical memory).
+DRIVER_DEFAULT_SPECS = {
+    "rtcore": GPU_RTX_3090,
+    "coupled": APU_RYZEN_7_8700G,
+}
+
+
+def _resolve_device(driver_name, spec_name=None):
+    """Map CLI driver/spec names to (driver class, kind, spec)."""
+    driver, kind = DRIVERS[driver_name]
+    if spec_name:
+        spec = SPECS[spec_name]
+    else:
+        spec = DRIVER_DEFAULT_SPECS.get(
+            driver_name,
+            GPU_RTX_2080_TI if kind == "GPU" else CPU_I7_8700)
+    return driver, kind, spec
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -324,9 +356,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _make_executor(args) -> AdamantExecutor:
-    driver, kind = DRIVERS[args.driver]
-    spec = SPECS[args.spec] if args.spec else (
-        GPU_RTX_2080_TI if kind == "GPU" else CPU_I7_8700)
+    driver, kind, spec = _resolve_device(args.driver, args.spec)
     executor = AdamantExecutor(
         overlay_path=getattr(args, "overlay_path", None))
     executor.plug_device("dev0", driver, spec,
@@ -386,7 +416,8 @@ def _oracle(args, catalog):
 def cmd_devices(_args) -> int:
     print(f"{'device':24s} {'kind':5s} {'memory':>10s} "
           f"{'mem bw':>10s} {'interconnect':>13s} {'units':>6s}")
-    for spec in [*ALL_GPUS, CPU_I7_8700, CPU_XEON_5220R]:
+    for spec in [*ALL_GPUS, GPU_RTX_3090, APU_RYZEN_7_8700G,
+                 CPU_I7_8700, CPU_XEON_5220R]:
         print(f"{spec.name:24s} {spec.kind.value:5s} "
               f"{spec.memory_bytes / 2**30:>8.1f}Gi "
               f"{spec.mem_bandwidth / 1e9:>7.0f}GB/s "
@@ -441,11 +472,9 @@ def cmd_validate(args) -> int:
         module, graph = _build_query(qname, catalog)
         expected = _oracle_for(qname, catalog)
         for driver_name in sorted(DRIVERS):
-            driver, kind = DRIVERS[driver_name]
+            driver, kind, spec = _resolve_device(driver_name)
             executor = AdamantExecutor()
-            executor.plug_device(
-                "dev0", driver,
-                GPU_RTX_2080_TI if kind == "GPU" else CPU_I7_8700)
+            executor.plug_device("dev0", driver, spec)
             for model in models:
                 try:
                     result = executor.run(graph, catalog, model=model,
@@ -495,9 +524,7 @@ def _run_with_faults(args, graph, catalog, plan, *, analyze=False):
     """
     from repro.engine import Engine
 
-    driver, kind = DRIVERS[args.driver]
-    spec = SPECS[args.spec] if args.spec else (
-        GPU_RTX_2080_TI if kind == "GPU" else CPU_I7_8700)
+    driver, kind, spec = _resolve_device(args.driver, args.spec)
     budget = getattr(args, "retry_budget", None)
     policy = (RetryPolicy(budget_seconds=budget)
               if budget is not None else None)
@@ -520,9 +547,7 @@ def _make_cluster(args):
     the host fallback, so within-node failover still applies)."""
     from repro.cluster import ClusterExecutor
 
-    driver, kind = DRIVERS[args.driver]
-    spec = SPECS[args.spec] if args.spec else (
-        GPU_RTX_2080_TI if kind == "GPU" else CPU_I7_8700)
+    driver, kind, spec = _resolve_device(args.driver, args.spec)
     cluster = ClusterExecutor(nodes=args.nodes, network=args.network)
     cluster.plug_device("dev0", driver, spec,
                         memory_limit=args.memory_limit, default=True)
@@ -722,9 +747,7 @@ def cmd_concurrent(args) -> int:
     args.model = model
     plan = FaultPlan.parse(args.faults) if args.faults else None
     catalog = generate(args.sf, seed=args.seed)
-    driver, kind = DRIVERS[args.driver]
-    spec = SPECS[args.spec] if args.spec else (
-        GPU_RTX_2080_TI if kind == "GPU" else CPU_I7_8700)
+    driver, kind, spec = _resolve_device(args.driver, args.spec)
     engine = Engine(faults=plan,
                     enable_subplan_cache=not args.no_subplan_cache)
     engine.plug_device("dev0", driver, spec,
@@ -825,9 +848,7 @@ def cmd_serve(args) -> int:
     elif args.scenario:
         plan = SCENARIOS[args.scenario]()
     catalog = generate(args.sf, seed=args.seed)
-    driver, kind = DRIVERS[args.driver]
-    spec = SPECS[args.spec] if args.spec else (
-        GPU_RTX_2080_TI if kind == "GPU" else CPU_I7_8700)
+    driver, kind, spec = _resolve_device(args.driver, args.spec)
     engine = Engine(faults=plan)
     engine.plug_device("dev0", driver, spec,
                        memory_limit=args.memory_limit, default=True)

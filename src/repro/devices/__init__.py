@@ -1,11 +1,13 @@
 """Device layer: the ten pluggable interfaces and the simulated drivers."""
 
 from repro.devices.base import Device, SimulatedDevice, Task
+from repro.devices.coupled import CoupledDevice, register_coupled_kernels
 from repro.devices.cuda import CudaDevice
 from repro.devices.fpga import FpgaDevice
 from repro.devices.memory import Buffer, MemoryManager
 from repro.devices.opencl import OpenCLDevice
 from repro.devices.openmp import OpenMPDevice
+from repro.devices.rtcore import RTCoreDevice, register_rtcore_kernels
 from repro.devices.transforms import KNOWN_FORMATS, register_default_transforms
 
 __all__ = [
@@ -18,6 +20,10 @@ __all__ = [
     "CudaDevice",
     "OpenMPDevice",
     "FpgaDevice",
+    "RTCoreDevice",
+    "CoupledDevice",
+    "register_rtcore_kernels",
+    "register_coupled_kernels",
     "KNOWN_FORMATS",
     "register_default_transforms",
 ]

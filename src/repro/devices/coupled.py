@@ -1,0 +1,138 @@
+"""Simulated coupled CPU-GPU (APU) driver — zero-copy shared memory.
+
+He et al., "Revisiting Co-Processing for Hash Joins on the Coupled
+CPU-GPU Architecture" (PAPERS.md), study integrated GPUs that share the
+host's physical memory: there is no PCIe hop, so "transferring" a
+column to the device is a cache-coherent pointer hand-off — free in
+bytes, tiny in latency — while kernels run from the shared DDR bus at a
+fraction of a discrete card's throughput.
+
+The driver realizes that trade through the standard ten interfaces:
+
+* :meth:`CoupledDevice.place_data` / :meth:`~CoupledDevice.retrieve_data`
+  schedule a constant-latency hand-off and count **zero** bytes into
+  ``adamant_transfer_bytes_total`` (the zero-copy invariant the
+  conformance suite property-checks);
+* :class:`_CoupledCostModel` prices every transfer at the hand-off
+  latency, reports the shared memory bus as the "interconnect"
+  bandwidth (zero-copy kernel reads run at memory speed), makes pinned
+  allocation plain host malloc, and derates kernel rates by the
+  coherence traffic sharing the bus with the CPU;
+* the OpenCL SDK profile applies on top (He et al.'s platform), and
+  the low APU ``mem_bandwidth`` / ``compute_units`` in the device spec
+  scale compute far below discrete GPUs — transfer-bound plans win on
+  this device, compute-bound plans lose, and the optimizer sees both
+  through the shared cost object with no engine edits.
+
+Calibration constants live in :mod:`repro.hardware.calibration`
+(``COUPLED_*``).
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import SimulatedDevice
+from repro.hardware import calibration as cal
+from repro.hardware.clock import Event
+from repro.hardware.costmodel import CostModel, TransferDirection
+from repro.hardware.specs import DeviceKind, Sdk
+from repro.primitives.values import value_nbytes
+from repro.task.registry import TaskRegistry, register_variant_kernels
+
+__all__ = ["CoupledDevice", "register_coupled_kernels"]
+
+
+class _CoupledCostModel(CostModel):
+    """OpenCL cost basis with shared-physical-memory transfer pricing."""
+
+    def bandwidth(self, direction: str = TransferDirection.H2D,
+                  pinned: bool = False) -> float:
+        # Crossing the "interconnect" is just another memory access:
+        # zero-copy kernel reads and D2D copies both run at bus speed.
+        return self.spec.mem_bandwidth
+
+    def transfer_seconds(self, nbytes: int, *,
+                         direction: str = TransferDirection.H2D,
+                         pinned: bool = False) -> float:
+        if nbytes < 0:
+            from repro.errors import SchedulingError
+            raise SchedulingError(f"negative transfer size {nbytes}")
+        return cal.COUPLED_HANDOFF_SECONDS
+
+    def alloc_seconds(self, nbytes: int, *, pinned: bool = False) -> float:
+        if pinned:
+            # "Pinned" host memory is plain malloc — every allocation is
+            # host-visible already.
+            return cal.COUPLED_PINNED_ALLOC_SECONDS \
+                + nbytes * self.profile.alloc_per_byte
+        return super().alloc_seconds(nbytes, pinned=False)
+
+    def kernel_seconds(self, primitive: str, n_elements: int, *,
+                       groups: int | None = None) -> float:
+        # Coherence traffic shares the DDR bus with the CPU.
+        return super().kernel_seconds(primitive, n_elements, groups=groups) \
+            / cal.COUPLED_COHERENCE_EFFICIENCY
+
+
+class CoupledDevice(SimulatedDevice):
+    """An integrated CPU-GPU sharing physical memory (zero-copy)."""
+
+    sdk = Sdk.OPENCL
+    supported_kinds = (DeviceKind.GPU,)
+    supports_compilation = True
+
+    @property
+    def variant_key(self) -> str:
+        return "coupled"
+
+    def _make_cost_model(self) -> CostModel:
+        return _CoupledCostModel(self.spec, self.sdk)
+
+    # -- zero-copy data management -----------------------------------------
+    #
+    # The base driver charges H2D/D2H volume over the interconnect and
+    # counts the bytes into the transfer metric.  On a coupled device no
+    # bytes move: both directions degenerate to a constant-latency,
+    # zero-byte hand-off event on the transfer stream (the event still
+    # exists so dependency ordering and ANALYZE attribution are
+    # unchanged).
+
+    def place_data(self, alias: str, data: object, *, offset: int = 0,
+                   deps: list[Event] | None = None) -> Event:
+        self._require_initialized()
+        if alias not in self.memory:
+            self.prepare_memory(alias, value_nbytes(data))
+        buffer = self.memory.get(alias)
+        event = self.clock.schedule(
+            self.transfer_stream, cal.COUPLED_HANDOFF_SECONDS,
+            label=f"{self.name}:h2d:{alias}", deps=deps,
+            category="transfer", nbytes=0,
+        )
+        if self.metrics is not None:
+            self.metrics.inc("adamant_transfer_bytes_total", 0,
+                             device=self.name, direction="h2d")
+        self._store(buffer, data, event)
+        return event
+
+    def retrieve_data(self, alias: str, *, deps: list[Event] | None = None,
+                      via_pinned: bool = False) -> tuple[object, Event]:
+        self._require_initialized()
+        buffer = self.memory.get(alias)
+        value = self._resolve_value(buffer)
+        wait = list(deps or ())
+        if buffer.ready is not None:
+            wait.append(buffer.ready)
+        event = self.clock.schedule(
+            self.transfer_stream, cal.COUPLED_HANDOFF_SECONDS,
+            label=f"{self.name}:d2h:{alias}", deps=wait,
+            category="transfer", nbytes=0,
+        )
+        if self.metrics is not None:
+            self.metrics.inc("adamant_transfer_bytes_total", 0,
+                             device=self.name, direction="d2h")
+        return value, event
+
+
+def register_coupled_kernels(registry: TaskRegistry) -> list[str]:
+    """Claim the full ``"coupled"`` kernel-variant set in *registry*
+    (reference-delegating, see :func:`repro.task.registry.register_variant_kernels`)."""
+    return register_variant_kernels(registry, "coupled")

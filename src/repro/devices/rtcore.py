@@ -1,0 +1,95 @@
+"""Simulated RT-core accelerator driver (RTCUDB profile).
+
+RTCUDB ("RTCUDB: Building Databases with RT Cores", PAPERS.md) executes
+selections and hash probes on the GPU's ray-tracing hardware: table
+entries become primitives in a bounding-volume hierarchy (BVH), and
+every lookup is a ray cast whose cost is the traversal depth — so probe
+batches price *sub-linearly* in their size, while building the scene
+(the hash-build analogue) and plain streaming sweeps are expensive.
+
+This driver plugs that radically different cost shape into ADAMANT
+through the same ten interfaces every other device uses:
+
+* it rides the CUDA SDK profile (OptiX is a CUDA library) but claims
+  its own ``"rtcore"`` kernel-variant namespace, so RT-specialized
+  kernels can be registered while everything else falls back to the
+  reference implementations;
+* :class:`_RTCoreCostModel` reprices ``hash_probe`` and the selection
+  primitives as BVH traversal batches, ``hash_build`` as scene
+  construction, and derates every streaming primitive by
+  ``RTCORE_STREAM_EFFICIENCY`` — the planner and the simulator share
+  this object, so the optimizer discovers RT-friendly placements with
+  no engine or planner edits.
+
+Calibration constants live in :mod:`repro.hardware.calibration`
+(``RTCORE_*``); the worked plug-in walkthrough is docs/extending.md.
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import SimulatedDevice
+from repro.hardware import calibration as cal
+from repro.hardware.costmodel import CostModel
+from repro.hardware.specs import DeviceKind, Sdk
+from repro.task.registry import TaskRegistry, register_variant_kernels
+
+__all__ = ["RTCoreDevice", "register_rtcore_kernels"]
+
+
+class _RTCoreCostModel(CostModel):
+    """CUDA cost basis with ray-traced probe/selection pricing.
+
+    Traversal batches follow the calibrated sub-linear curve (see
+    ``RTCORE_TRAVERSAL_*`` in calibration.py); no atomic-contention
+    factor applies to them — the BVH is read-only during traversal.
+    """
+
+    def _rt_scale(self) -> float:
+        # RT-core count tracks the SM count 1:1 on the generations this
+        # models, so traversal throughput scales with compute units.
+        return self.spec.compute_units / cal.RTCORE_REFERENCE_UNITS
+
+    def kernel_seconds(self, primitive: str, n_elements: int, *,
+                       groups: int | None = None) -> float:
+        n = max(1, int(n_elements))
+        if primitive in cal.RTCORE_TRAVERSAL_PRIMITIVES:
+            rate = cal.RTCORE_TRAVERSAL_RATES[primitive] * self._rt_scale()
+            anchor = cal.RTCORE_TRAVERSAL_ANCHOR
+            return (anchor / rate) * (n / anchor) \
+                ** cal.RTCORE_TRAVERSAL_EXPONENT
+        if primitive == "hash_build":
+            # BVH (scene) construction: fixed build pass per launch plus
+            # a slow per-key insert — chunked builds refit per chunk.
+            insert = n / (cal.RTCORE_SCENE_INSERT_RATE * self._rt_scale())
+            return cal.RTCORE_SCENE_BUILD_SECONDS + insert
+        # Everything else runs on the shader cores while the traversal
+        # pipeline owns the scheduler: plain CUDA time, derated.
+        return super().kernel_seconds(primitive, n_elements, groups=groups) \
+            / cal.RTCORE_STREAM_EFFICIENCY
+
+
+class RTCoreDevice(SimulatedDevice):
+    """A ray-tracing-core accelerator behind the ten device interfaces."""
+
+    sdk = Sdk.CUDA
+    supported_kinds = (DeviceKind.GPU,)
+    supports_compilation = True  # OptiX pipeline compilation
+
+    @property
+    def variant_key(self) -> str:
+        return "rtcore"
+
+    def _make_cost_model(self) -> CostModel:
+        return _RTCoreCostModel(self.spec, self.sdk)
+
+
+def register_rtcore_kernels(registry: TaskRegistry) -> list[str]:
+    """Claim the full ``"rtcore"`` kernel-variant set in *registry*.
+
+    The simulated kernels delegate to the reference implementations
+    (results are variant-independent by construction); what the variant
+    set changes is resolution — an RTCoreDevice's plans never rely on
+    the reference fallback, and any single primitive can later be
+    swapped for a genuinely specialized kernel.
+    """
+    return register_variant_kernels(registry, "rtcore")

@@ -19,7 +19,11 @@ from repro.hardware.specs import Sdk
 
 __all__ = ["register_default_transforms", "KNOWN_FORMATS"]
 
-KNOWN_FORMATS = [f"{sdk.value}.buffer" for sdk in Sdk] + ["fpga.buffer"]
+KNOWN_FORMATS = [f"{sdk.value}.buffer" for sdk in Sdk] + [
+    "fpga.buffer",
+    "rtcore.buffer",  # scene/ray payload encoding (devices.rtcore)
+    "coupled.buffer",  # shared-memory pointer hand-off (devices.coupled)
+]
 
 
 def register_default_transforms(device: SimulatedDevice) -> None:

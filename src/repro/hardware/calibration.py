@@ -44,6 +44,17 @@ __all__ = [
     "HASH_AGG_GROUP_SLOPE",
     "HASH_BUILD_SIZE_SLOPE",
     "HASH_CONTENTION_BASE",
+    "RTCORE_TRAVERSAL_PRIMITIVES",
+    "RTCORE_TRAVERSAL_RATES",
+    "RTCORE_TRAVERSAL_ANCHOR",
+    "RTCORE_TRAVERSAL_EXPONENT",
+    "RTCORE_REFERENCE_UNITS",
+    "RTCORE_SCENE_BUILD_SECONDS",
+    "RTCORE_SCENE_INSERT_RATE",
+    "RTCORE_STREAM_EFFICIENCY",
+    "COUPLED_HANDOFF_SECONDS",
+    "COUPLED_PINNED_ALLOC_SECONDS",
+    "COUPLED_COHERENCE_EFFICIENCY",
 ]
 
 
@@ -292,6 +303,66 @@ HASH_CONTENTION_BASE = 2**24
 # through DMA descriptor setup.
 FPGA_RECONFIGURE_SECONDS = 80e-3
 FPGA_LAUNCH_SECONDS = 20e-6
+
+# --- RT-core accelerator (devices.rtcore; RTCUDB in PAPERS.md) ---------------
+#
+# RTCUDB maps selections and hash probes onto the GPU's ray-tracing
+# pipeline: table entries become scene primitives in a BVH, and each
+# lookup is a ray cast whose cost is the traversal depth — logarithmic
+# in the scene, not linear in the data swept.  The reproduction prices a
+# traversal batch of ``n`` lookups as
+#
+#     seconds(n) = (ANCHOR / rate) * (n / ANCHOR) ** EXPONENT
+#
+# i.e. calibrated to ``rate`` lookups/second at the ANCHOR batch size
+# and growing sub-linearly beyond it (hardware traversal units keep
+# rays in flight; incoherent memory access amortizes across the batch).
+# The curve is monotone non-decreasing in ``n`` — more probes never
+# cost less — which tests/test_plugin_conformance.py property-checks.
+# Below the anchor the same curve charges *more* than a linear model
+# would: tiny batches cannot fill the traversal units and still pay the
+# full BVH depth per ray.  Rates are for the reference RT GPU
+# (RTX 3090, 82 RT cores) and scale with the device's compute units.
+RTCORE_TRAVERSAL_PRIMITIVES = ("hash_probe", "filter_bitmap",
+                               "filter_position")
+RTCORE_TRAVERSAL_RATES: dict[str, float] = {
+    "hash_probe": 8.0e9,
+    "filter_bitmap": 14.0e9,
+    "filter_position": 10.0e9,
+}
+RTCORE_TRAVERSAL_ANCHOR = 2**24
+RTCORE_TRAVERSAL_EXPONENT = 0.55
+RTCORE_REFERENCE_UNITS = 82  # RTX 3090 RT cores (1 per SM on Ampere)
+
+# Building the probe side means constructing a BVH over the keys — the
+# expensive half of the trade (RTCUDB reports scene builds dominating
+# whenever the build side is not reused).  Charged as a fixed
+# construction pass per build launch plus a slow per-key insert; chunked
+# builds pay the fixed cost per chunk (incremental refits).
+RTCORE_SCENE_BUILD_SECONDS = 1.5e-3
+RTCORE_SCENE_INSERT_RATE = 0.5e9  # keys/second at the reference GPU
+
+# Everything that is not a traversal (scans, materialization,
+# aggregation sweeps) must first be encoded as ray payloads and run on
+# the shader cores while the traversal pipeline owns the scheduler;
+# streaming primitives achieve this fraction of the equivalent CUDA
+# rate.  RT-core devices are deliberately *bad* scan engines — that is
+# the frontier the landscape bench maps.
+RTCORE_STREAM_EFFICIENCY = 0.33
+
+# --- Coupled CPU-GPU device (devices.coupled; He et al. in PAPERS.md) --------
+#
+# On an integrated APU the "transfer" interfaces degenerate to a
+# cache-coherent pointer hand-off: no bytes cross any interconnect
+# (the zero-copy invariant tests assert the H2D byte counter stays 0),
+# only a small coherence/synchronization latency per hand-off is paid.
+# Pinned allocation is plain host malloc.  Kernels, in exchange, run
+# from the shared DDR bus — the device spec's low ``mem_bandwidth``
+# scales their rates down — further derated by coherence traffic
+# sharing the bus with the CPU.
+COUPLED_HANDOFF_SECONDS = 3e-6
+COUPLED_PINNED_ALLOC_SECONDS = 5e-6
+COUPLED_COHERENCE_EFFICIENCY = 0.90
 
 # --- OpenCL pinned-memory anomaly (Figure 11, Q4) ---------------------------
 #

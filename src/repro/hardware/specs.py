@@ -23,6 +23,8 @@ __all__ = [
     "GPU_GTX_970",
     "GPU_GTX_1080",
     "GPU_V100",
+    "GPU_RTX_3090",
+    "APU_RYZEN_7_8700G",
     "FPGA_ALVEO_U250",
     "CPU_I7_8700",
     "CPU_XEON_5220R",
@@ -226,7 +228,42 @@ GPU_A100 = DeviceSpec(
     compute_units=108,
 )
 
-ALL_GPUS = [GPU_GTX_970, GPU_GTX_1080, GPU_RTX_2080_TI, GPU_V100, GPU_A100]
+GPU_RTX_3090 = DeviceSpec(
+    name="GeForce RTX 3090",
+    kind=DeviceKind.GPU,
+    memory_bytes=24 * GIB,
+    mem_bandwidth=936e9,
+    interconnect_bandwidth=24e9,  # PCIe 4.0 x16, pinned
+    compute_units=82,  # SMs; the RT-core count matches 1:1 on Ampere
+)
+
+# The paper's evaluated GPU lineage (Table II / Figure 7): capacity and
+# bandwidth both grow monotonically down the list. The consumer RTX 3090
+# (more bandwidth than a V100, less memory) breaks that lineage, so it
+# stays out of ALL_GPUS and is listed alongside it where relevant.
+ALL_GPUS = [GPU_GTX_970, GPU_GTX_1080, GPU_RTX_2080_TI, GPU_V100,
+            GPU_A100]
+
+
+# --- Coupled CPU-GPU (APU) ---------------------------------------------------
+#
+# He et al., "Revisiting Co-Processing for Hash Joins on the Coupled
+# CPU-GPU Architecture": an integrated GPU shares the host's physical
+# memory, so host<->device "transfers" are cache-coherent pointer
+# hand-offs instead of PCIe DMA — but the shared DDR bus caps kernel
+# throughput far below a discrete card's GDDR.  ``memory_bytes`` is the
+# host RAM (there is no separate device memory to overflow), and
+# ``interconnect_bandwidth`` equals ``mem_bandwidth``: crossing the
+# "interconnect" is just another memory access.
+
+APU_RYZEN_7_8700G = DeviceSpec(
+    name="AMD Ryzen 7 8700G (Radeon 780M)",
+    kind=DeviceKind.GPU,
+    memory_bytes=64 * GIB,  # shared host DDR5
+    mem_bandwidth=90e9,  # dual-channel DDR5-5600, shared with the CPU
+    interconnect_bandwidth=90e9,  # same bus: zero-copy hand-off
+    compute_units=12,  # RDNA3 WGPs
+)
 
 
 # --- FPGAs (Section III-A2's integration discussion) ------------------------

@@ -1,7 +1,12 @@
 """Task layer: kernel/data containers and the variant registry."""
 
 from repro.task.containers import DataContainer, ImplementationKind, KernelContainer
-from repro.task.registry import REFERENCE_VARIANT, TaskRegistry, default_registry
+from repro.task.registry import (
+    REFERENCE_VARIANT,
+    TaskRegistry,
+    default_registry,
+    register_variant_kernels,
+)
 
 __all__ = [
     "DataContainer",
@@ -9,5 +14,6 @@ __all__ = [
     "ImplementationKind",
     "TaskRegistry",
     "default_registry",
+    "register_variant_kernels",
     "REFERENCE_VARIANT",
 ]

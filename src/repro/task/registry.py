@@ -9,12 +9,15 @@ couple any SDK with its operator implementation" property of Section III-B.
 
 from __future__ import annotations
 
+from dataclasses import replace as _replace
+
 from repro.errors import NoImplementationError, SignatureError, UnknownPrimitiveError
 from repro.primitives import kernels
 from repro.primitives.definitions import PRIMITIVES
 from repro.task.containers import ImplementationKind, KernelContainer
 
-__all__ = ["TaskRegistry", "default_registry", "REFERENCE_VARIANT"]
+__all__ = ["TaskRegistry", "default_registry", "register_variant_kernels",
+           "REFERENCE_VARIANT"]
 
 REFERENCE_VARIANT = "reference"
 
@@ -131,6 +134,41 @@ def _fused_kernels() -> list[KernelContainer]:
         for primitive, fn in fused
         for variant in (REFERENCE_VARIANT, *FUSED_VARIANTS)
     ]
+
+
+def register_variant_kernels(registry: TaskRegistry, variant: str, *,
+                             overrides: dict[str, KernelContainer]
+                             | None = None) -> list[str]:
+    """Register a *full* kernel-variant set for *variant*.
+
+    Device plug-ins call this to claim their own implementation of every
+    primitive that has a reference kernel: each registered container is
+    the reference implementation re-tagged under the plug-in's variant
+    key, except where *overrides* supplies a specialized container (keyed
+    by primitive name).  Registering the full set — rather than relying
+    on the reference fallback — is what the conformance suite's
+    "every kernel variant present" check asserts, and it lets a plug-in
+    later swap any single primitive for a tuned kernel without changing
+    how plans resolve.
+
+    Returns the primitive names registered (sorted); primitives the
+    variant already claims are left untouched.
+    """
+    overrides = overrides or {}
+    registered: list[str] = []
+    for primitive in sorted(PRIMITIVES):
+        if (primitive, variant) in registry:
+            continue
+        try:
+            ref = registry.resolve(primitive, REFERENCE_VARIANT)
+        except NoImplementationError:
+            continue
+        container = overrides.get(primitive)
+        if container is None:
+            container = _replace(ref, variant=variant, compiled=False)
+        registry.register(container)
+        registered.append(primitive)
+    return registered
 
 
 def default_registry() -> TaskRegistry:

@@ -433,3 +433,85 @@ class TestExecutorSurface:
         assert first == second
         assert "EXPLAIN DISTRIBUTED" in first
         assert "co-partitioned" in first
+
+
+class TestNewDeviceCluster:
+    """The RT-core / coupled-APU plug-ins on the heterogeneous-node
+    path: a two-node cluster mixing both new devices stays
+    byte-identical to single-node execution, with fusion on or off,
+    and survives losing the RT-core mid-run (failover to the APU
+    within the node, or to the surviving node)."""
+
+    def _cluster(self, nodes=2):
+        from repro.devices import CoupledDevice, RTCoreDevice
+        from repro.hardware import APU_RYZEN_7_8700G, GPU_RTX_3090
+        from repro.task.registry import register_variant_kernels
+
+        cluster = ClusterExecutor(nodes=nodes, network="eth_100g")
+        cluster.plug_device("rt0", RTCoreDevice, GPU_RTX_3090,
+                            default=True)
+        cluster.plug_device("apu0", CoupledDevice, APU_RYZEN_7_8700G)
+        for node in cluster.nodes:
+            register_variant_kernels(node.engine.registry, "rtcore")
+            register_variant_kernels(node.engine.registry, "coupled")
+        return cluster
+
+    def _single(self):
+        from repro.devices import CoupledDevice, RTCoreDevice
+        from repro.hardware import APU_RYZEN_7_8700G, GPU_RTX_3090
+        from repro.task.registry import register_variant_kernels
+
+        engine = Engine()
+        engine.plug_device("rt0", RTCoreDevice, GPU_RTX_3090,
+                           default=True)
+        engine.plug_device("apu0", CoupledDevice, APU_RYZEN_7_8700G)
+        register_variant_kernels(engine.registry, "rtcore")
+        register_variant_kernels(engine.registry, "coupled")
+        return engine
+
+    @pytest.mark.parametrize("fuse", [False, True],
+                             ids=["plain", "fused"])
+    @pytest.mark.parametrize("qname", ["q3", "q6", "q19"])
+    def test_two_node_byte_identity(self, qname, fuse):
+        module, build = _build(qname)
+        dist = self._cluster().run(build, CATALOG, data_scale=2,
+                                   fuse=fuse)
+        single = self._single().execute(build(), CATALOG, data_scale=2,
+                                        fuse=fuse, fresh=True)
+        assert_outputs_identical(single.outputs.keys(), dist.outputs,
+                                 single.outputs)
+        assert module.finalize(dist, CATALOG) == \
+            module.finalize(single, CATALOG)
+
+    def test_rtcore_loss_fails_over_within_node(self):
+        """Losing the RT-core leaves the APU to carry the shard: no
+        node failover, answers unchanged."""
+        module, build = _build("q6")
+        cluster = self._cluster()
+        cluster.install_faults("node0",
+                               FaultPlan.parse("rt0:device_loss:1"))
+        dist = cluster.run(build, CATALOG, data_scale=2)
+        single = self._single().execute(build(), CATALOG, data_scale=2,
+                                        fresh=True)
+        assert module.finalize(dist, CATALOG) == \
+            module.finalize(single, CATALOG)
+        assert dist.stats.node_failovers == 0
+        assert not cluster.node("node0").lost
+        assert dist.stats.failovers >= 1
+
+    def test_losing_every_new_device_fails_over_to_survivor(self):
+        """node0 loses RT-core *and* APU: the shard re-runs on node1."""
+        module, build = _build("q3")
+        cluster = self._cluster()
+        cluster.install_faults(
+            "node0",
+            FaultPlan.parse("rt0:device_loss:1,apu0:device_loss:1"))
+        dist = cluster.run(build, CATALOG, data_scale=2)
+        single = self._single().execute(build(), CATALOG, data_scale=2,
+                                        fresh=True)
+        assert module.finalize(dist, CATALOG) == \
+            module.finalize(single, CATALOG)
+        assert dist.stats.node_failovers == 1
+        assert cluster.node("node0").lost
+        assert dist.stats.node_seconds["node0"] == 0.0
+        assert dist.stats.node_seconds["node1"] > 0.0

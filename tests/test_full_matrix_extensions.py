@@ -9,12 +9,17 @@ query/model pairing anywhere in the repo goes unvalidated.
 
 import pytest
 
-from repro.devices import CudaDevice, FpgaDevice, OpenMPDevice
+from repro.devices import (CoupledDevice, CudaDevice, FpgaDevice,
+                           OpenMPDevice, RTCoreDevice)
+from repro.engine import Engine
 from repro.hardware import (
+    APU_RYZEN_7_8700G,
     CPU_XEON_5220R,
     FPGA_ALVEO_U250,
     GPU_RTX_2080_TI,
+    GPU_RTX_3090,
 )
+from repro.task.registry import register_variant_kernels
 from repro.tpch import reference
 from repro.tpch.queries import q1, q3, q4, q5, q6, q12, q14, q18, q19
 from tests.conftest import make_executor
@@ -166,3 +171,76 @@ class TestMultiHopRouting:
             current, _ = hub.router(edge, current, device)
         value = gpu.memory.get(current).value
         assert np.array_equal(value, payload)
+
+
+class TestNewDevicePlugins:
+    """The RT-core and coupled-APU plug-ins ride the same byte-identity
+    matrix: fused vs plain, adaptive vs plain, warm subplan-cache reuse
+    — on a heterogeneous executor that mixes each plug-in with a seed
+    GPU, every answer stays byte-identical and oracle-correct."""
+
+    NEW_DEVICES = {
+        "rtcore": (RTCoreDevice, GPU_RTX_3090),
+        "coupled": (CoupledDevice, APU_RYZEN_7_8700G),
+    }
+    #: The representative model slice: the paper baseline, the staged
+    #: pipeline, the all-device split and the unified-memory path.
+    MODELS_SLICE = ["chunked", "four_phase_pipelined", "split_chunked",
+                    "zero_copy"]
+
+    def _hetero(self, device_key):
+        driver, spec = self.NEW_DEVICES[device_key]
+        executor = make_executor(
+            driver, spec, name="new0",
+            extra_devices=[("gpu", CudaDevice, GPU_RTX_2080_TI)])
+        register_variant_kernels(executor.registry,
+                                 executor.devices["new0"].variant_key)
+        return executor
+
+    @pytest.mark.parametrize("model", MODELS_SLICE)
+    @pytest.mark.parametrize("qname", FUSION_QUERIES)
+    @pytest.mark.parametrize("device_key", sorted(NEW_DEVICES))
+    def test_fused_outputs_byte_identical(self, small_catalog,
+                                          device_key, qname, model):
+        from tests.test_integration_queries import _blob
+
+        module, graph = build_graph(qname, small_catalog)
+        plain = self._hetero(device_key).run(
+            graph, small_catalog, model=model, chunk_size=2048)
+        _, graph2 = build_graph(qname, small_catalog)
+        fused = self._hetero(device_key).run(
+            graph2, small_catalog, model=model, chunk_size=2048,
+            fuse=True)
+        assert _blob(fused.outputs) == _blob(plain.outputs)
+        check(module, fused, small_catalog, oracle(qname, small_catalog))
+
+    @pytest.mark.parametrize("qname", FUSION_QUERIES)
+    @pytest.mark.parametrize("device_key", sorted(NEW_DEVICES))
+    def test_adaptive_answers_match_oracle(self, small_catalog,
+                                           device_key, qname):
+        # Adaptive runs resize chunks on the fly, which reorders group
+        # tables; like tests/test_adaptive.py, the contract is on the
+        # finalized answer, not the raw carrier layout.
+        module, graph = build_graph(qname, small_catalog)
+        adaptive = self._hetero(device_key).run(
+            graph, small_catalog, model="chunked", chunk_size=2048,
+            adaptive=True)
+        check(module, adaptive, small_catalog,
+              oracle(qname, small_catalog))
+
+    @pytest.mark.parametrize("device_key", sorted(NEW_DEVICES))
+    def test_subplan_cache_warm_reuse(self, tiny_catalog, device_key):
+        from tests.test_integration_queries import _blob
+
+        driver, spec = self.NEW_DEVICES[device_key]
+        engine = Engine()
+        engine.plug_device("new0", driver, spec, default=True)
+        register_variant_kernels(engine.registry,
+                                 engine.devices["new0"].variant_key)
+        cold = engine.execute(q3.build(tiny_catalog), tiny_catalog,
+                              chunk_size=2048)
+        warm = engine.execute(q3.build(tiny_catalog), tiny_catalog,
+                              chunk_size=2048)
+        assert warm.stats.subplan_cache_hits > 0
+        assert warm.stats.kernels_launched == 0
+        assert _blob(warm.outputs) == _blob(cold.outputs)

@@ -78,7 +78,8 @@ class TestCliMicroAndValidate:
         code = main(["validate", "--sf", "0.002", "--chunk-size", "1024"])
         out = capsys.readouterr().out
         assert code == 0
-        # (query count) x 7 models x 4 drivers, all matching
-        from repro.cli import QUERIES
-        total = len(QUERIES) * 7 * 4
+        # (query count) x 7 models x (driver count), all matching —
+        # the driver table includes the rtcore/coupled plug-ins.
+        from repro.cli import DRIVERS, QUERIES
+        total = len(QUERIES) * 7 * len(DRIVERS)
         assert f"{total}/{total}" in out

@@ -1,0 +1,441 @@
+"""Plug-in conformance: the contract every device class must honour.
+
+ADAMANT's extension story only works if "implement the ten interfaces"
+is a *checkable* promise.  This module is that check, parametrized over
+all six device classes (the paper's three drivers, the FPGA case study,
+and the RT-core / coupled-APU plug-ins):
+
+* every primitive resolves to a kernel under the device's variant key
+  (``prepare_kernel``/``execute`` can never dead-end);
+* all ten TPC-H queries return byte-identical results to the OpenMP
+  reference driver;
+* ``unplug_device`` tears the device fully down — no buffers, pins,
+  transforms or clock streams survive (``release``);
+* the fault ladder (transient -> OOM -> device loss) converges to the
+  fault-free answer with a host fallback plugged;
+* the cost model prices every primitive positive and finite — the
+  optimizer consumes these numbers unguarded.
+
+The checks are plain functions so the suite can also be pointed at a
+*deliberately broken* device and must then fail loudly, naming the
+violated interface (see ``TestBrokenDeviceFailsLoudly``).  Two
+hypothesis properties pin the new devices' defining invariants:
+RT-core probe pricing is monotone (cost non-increasing as selectivity
+drops the probe count) and the coupled device never counts a
+host-to-device byte.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Engine, FaultPlan
+from repro.cli import CATALOG_QUERIES, QUERIES
+from repro.core.executor import AdamantExecutor
+from repro.devices import (
+    CoupledDevice,
+    CudaDevice,
+    FpgaDevice,
+    OpenCLDevice,
+    OpenMPDevice,
+    RTCoreDevice,
+)
+from repro.errors import NoImplementationError
+from repro.hardware import (
+    APU_RYZEN_7_8700G,
+    CPU_I7_8700,
+    CPU_XEON_5220R,
+    FPGA_ALVEO_U250,
+    GPU_A100,
+    GPU_RTX_2080_TI,
+    GPU_RTX_3090,
+    Sdk,
+)
+from repro.hardware.costmodel import CostModel, TransferDirection
+from repro.primitives.definitions import PRIMITIVES
+from repro.task.registry import register_variant_kernels
+from repro.tpch import dbgen
+from repro.tpch.queries import q3, q6
+
+CHUNK = 2048
+
+#: The six device classes under contract, with a representative spec.
+DEVICE_CLASSES = {
+    "opencl": (OpenCLDevice, GPU_A100),
+    "cuda": (CudaDevice, GPU_RTX_2080_TI),
+    "openmp": (OpenMPDevice, CPU_XEON_5220R),
+    "fpga": (FpgaDevice, FPGA_ALVEO_U250),
+    "rtcore": (RTCoreDevice, GPU_RTX_3090),
+    "coupled": (CoupledDevice, APU_RYZEN_7_8700G),
+}
+
+#: Module-scope catalog (same stream as ``tiny_catalog``) so hypothesis
+#: properties avoid function-scoped fixture health checks.
+CATALOG = dbgen.generate(0.0005, seed=7)
+
+
+def build_query(qname, catalog):
+    module = QUERIES[qname]
+    if qname == "q18":
+        # The spec threshold yields empty results at tiny scale; this
+        # one produces rows so the comparison is not vacuous.
+        return module.build(quantity=220)
+    if qname in CATALOG_QUERIES:
+        return module.build(catalog)
+    return module.build()
+
+
+def blob(value):
+    """Canonical byte-level form of a query output."""
+    if isinstance(value, np.ndarray):
+        return ("nd", value.dtype.str, value.shape, value.tobytes())
+    if isinstance(value, dict):
+        return ("map", tuple(sorted((k, blob(v))
+                                    for k, v in value.items())))
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(blob(v) for v in value))
+    if hasattr(value, "__dict__"):
+        return ("obj", type(value).__name__, tuple(
+            sorted((k, blob(v)) for k, v in vars(value).items())))
+    return ("lit", repr(value))
+
+
+def plug(host, device_cls, spec, *, name="dev0", **kwargs):
+    """Plug *device_cls* and claim its full kernel-variant set."""
+    device = host.plug_device(name, device_cls, spec, **kwargs)
+    register_variant_kernels(host.registry, device.variant_key)
+    return device
+
+
+# ---------------------------------------------------------------------------
+# The conformance checks (reusable against broken fixtures)
+# ---------------------------------------------------------------------------
+
+
+def check_kernel_variants(host, device) -> None:
+    """Every primitive resolves under the device's variant key."""
+    for primitive in sorted(PRIMITIVES):
+        try:
+            container = host.registry.resolve(primitive,
+                                              device.variant_key)
+        except NoImplementationError:
+            raise AssertionError(
+                f"prepare_kernel/execute contract violated: primitive "
+                f"{primitive!r} has no kernel under variant "
+                f"{device.variant_key!r} and no reference fallback"
+            ) from None
+        assert callable(container.fn), (
+            f"prepare_kernel contract violated: {primitive!r} resolved "
+            f"to a non-callable container under {device.variant_key!r}")
+
+
+def check_cost_model(device) -> None:
+    """Every cost estimate is positive and finite.
+
+    The optimizer and the placement pass consume these numbers without
+    guards — a NaN or a negative duration corrupts every plan price.
+    """
+    cost = device.cost
+    cost_keys = sorted({d.cost_key for d in PRIMITIVES.values()})
+    for key in cost_keys:
+        for n in (1, CHUNK, 1 << 20, 1 << 28):
+            groups = 64 if "agg" in key else None
+            seconds = cost.kernel_seconds(key, n, groups=groups)
+            assert np.isfinite(seconds) and seconds > 0.0, (
+                f"cost-model contract violated: kernel_seconds("
+                f"{key!r}, {n}) = {seconds!r} must be positive and "
+                f"finite")
+    for direction in (TransferDirection.H2D, TransferDirection.D2H):
+        for pinned in (False, True):
+            seconds = cost.transfer_seconds(1 << 20, direction=direction,
+                                            pinned=pinned)
+            assert np.isfinite(seconds) and seconds >= 0.0, (
+                f"cost-model contract violated: transfer_seconds("
+                f"direction={direction}, pinned={pinned}) = {seconds!r}")
+            bandwidth = cost.bandwidth(direction, pinned)
+            assert np.isfinite(bandwidth) and bandwidth > 0.0, (
+                f"cost-model contract violated: bandwidth("
+                f"{direction}, pinned={pinned}) = {bandwidth!r}")
+    for fn, args in (("alloc_seconds", (1 << 20,)),
+                     ("launch_seconds", (4,)),
+                     ("compile_seconds", ())):
+        seconds = getattr(cost, fn)(*args)
+        assert np.isfinite(seconds) and seconds >= 0.0, (
+            f"cost-model contract violated: {fn}{args} = {seconds!r}")
+
+
+def check_query_byte_identity(device_cls, spec, qname, catalog) -> None:
+    """The device's answer equals the OpenMP reference, byte for byte."""
+    module = QUERIES[qname]
+
+    def run(cls, dev_spec):
+        executor = AdamantExecutor()
+        plug(executor, cls, dev_spec, default=True)
+        return executor.run(build_query(qname, catalog), catalog,
+                            model="four_phase_pipelined",
+                            chunk_size=CHUNK)
+    result = run(device_cls, spec)
+    reference = run(OpenMPDevice, CPU_I7_8700)
+    assert sorted(result.outputs) == sorted(reference.outputs), (
+        f"execute contract violated: {device_cls.__name__} produced "
+        f"different outputs for {qname}")
+    for out in reference.outputs:
+        assert blob(result.output(out)) == blob(reference.output(out)), (
+            f"execute contract violated: {device_cls.__name__} output "
+            f"{out!r} of {qname} is not byte-identical to the OpenMP "
+            f"reference")
+    # The human-facing answer agrees too (guards finalize-path drift).
+    assert blob(module.finalize(result, catalog)) == \
+        blob(module.finalize(reference, catalog)), (
+            f"execute contract violated: {device_cls.__name__} "
+            f"finalized answer for {qname} diverges from the reference")
+
+
+def check_unplug_teardown(device_cls, spec, catalog) -> None:
+    """``unplug_device`` (-> ``release``) leaves no residue behind."""
+    engine = Engine()
+    device = plug(engine, device_cls, spec, default=True)
+    engine.execute(q6.build(), catalog,
+                   model="four_phase_pipelined", chunk_size=CHUNK)
+    engine.unplug_device("dev0")
+    assert not device.memory.aliases(), (
+        f"release contract violated: {device_cls.__name__}.release() "
+        f"left device buffers {device.memory.aliases()!r} after "
+        f"unplug_device")
+    assert device.memory.used == 0 if hasattr(device.memory, "used") \
+        else True
+    assert device.memory.pinned_used == 0, (
+        f"release contract violated: {device_cls.__name__}.release() "
+        f"left {device.memory.pinned_used} bytes of pinned memory "
+        f"after unplug_device")
+    assert not device.data_container.transforms, (
+        f"release contract violated: {device_cls.__name__}.release() "
+        f"left registered format transforms after unplug_device")
+    for stream in (device.compute_stream, device.transfer_stream):
+        assert stream not in engine.clock.streams, (
+            f"release contract violated: {device_cls.__name__}."
+            f"release() left clock stream {stream!r} after "
+            f"unplug_device")
+
+
+#: kind -> (fault spec, query builder).  OOM uses the chunk-halving
+#: ladder's proven envelope (kernel-time spikes on a streaming scan);
+#: transient and device-loss run the join so retries and failover
+#: replay hash-table state.
+FAULT_LADDER = {
+    "transient": ("dev0:transient:0.2,seed=5",
+                  lambda catalog: q3.build(catalog)),
+    "oom": ("dev0:oom:0.05,seed=3", lambda catalog: q6.build()),
+    "device_loss": ("dev0:device_loss:5,seed=5",
+                    lambda catalog: q3.build(catalog)),
+}
+
+
+def check_fault_recovery(device_cls, spec, catalog, kind) -> None:
+    """Injected faults change the timeline, never the answer."""
+    fault_spec, build = FAULT_LADDER[kind]
+
+    def run(faults=None):
+        engine = Engine(faults=FaultPlan.parse(faults) if faults
+                        else None)
+        plug(engine, device_cls, spec, default=True)
+        engine.plug_device("host0", OpenMPDevice, CPU_I7_8700)
+        return engine.execute(build(catalog), catalog,
+                              chunk_size=CHUNK)
+    clean = run()
+    faulted = run(fault_spec)
+    assert sorted(clean.outputs) == sorted(faulted.outputs), (
+        f"fault-recovery contract violated: {device_cls.__name__} "
+        f"under {kind!r} faults lost outputs")
+    for out in clean.outputs:
+        assert blob(clean.output(out)) == blob(faulted.output(out)), (
+            f"fault-recovery contract violated: {device_cls.__name__} "
+            f"under {kind!r} faults diverged on output {out!r} — the "
+            f"retry/degrade/failover ladder did not converge")
+
+
+# ---------------------------------------------------------------------------
+# The parametrized suite
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("device_key", sorted(DEVICE_CLASSES))
+class TestDeviceConformance:
+    def test_kernel_variants_complete(self, device_key):
+        device_cls, spec = DEVICE_CLASSES[device_key]
+        executor = AdamantExecutor()
+        device = plug(executor, device_cls, spec)
+        check_kernel_variants(executor, device)
+        # The plug-in devices claim the *full* variant set outright —
+        # their plans never depend on the resolve-time fallback.
+        if device_key in ("rtcore", "coupled"):
+            for primitive in sorted(PRIMITIVES):
+                assert (primitive, device.variant_key) \
+                    in executor.registry, (
+                        f"register_variant_kernels missed "
+                        f"{primitive!r} for {device.variant_key!r}")
+
+    def test_cost_estimates_positive_finite(self, device_key):
+        device_cls, spec = DEVICE_CLASSES[device_key]
+        executor = AdamantExecutor()
+        device = plug(executor, device_cls, spec)
+        check_cost_model(device)
+
+    @pytest.mark.parametrize("qname", sorted(QUERIES))
+    def test_queries_byte_identical_to_reference(self, device_key,
+                                                 qname, tiny_catalog):
+        device_cls, spec = DEVICE_CLASSES[device_key]
+        check_query_byte_identity(device_cls, spec, qname, tiny_catalog)
+
+    def test_unplug_leaves_no_residue(self, device_key, tiny_catalog):
+        device_cls, spec = DEVICE_CLASSES[device_key]
+        check_unplug_teardown(device_cls, spec, tiny_catalog)
+
+    @pytest.mark.parametrize("kind", sorted(FAULT_LADDER))
+    def test_fault_ladder_converges(self, device_key, kind,
+                                    tiny_catalog):
+        device_cls, spec = DEVICE_CLASSES[device_key]
+        check_fault_recovery(device_cls, spec, tiny_catalog, kind)
+
+
+# ---------------------------------------------------------------------------
+# The suite must fail loudly against a broken device
+# ---------------------------------------------------------------------------
+
+
+class _NegativeCostModel(CostModel):
+    def kernel_seconds(self, primitive, n_elements, *, groups=None):
+        return -1.0  # deliberately violates the cost contract
+
+
+class BrokenCostDevice(CudaDevice):
+    """Fixture: a device whose cost model emits negative durations."""
+
+    def _make_cost_model(self):
+        return _NegativeCostModel(self.spec, self.sdk)
+
+
+class LeakyReleaseDevice(CudaDevice):
+    """Fixture: a device whose ``release`` forgets its buffers."""
+
+    def release(self):
+        # Deliberately keeps memory/transforms; only detaches streams
+        # so unrelated clock state does not leak between tests.
+        self.clock.drop_stream(self.transfer_stream)
+        self.clock.drop_stream(self.compute_stream)
+
+
+class TestBrokenDeviceFailsLoudly:
+    def test_negative_costs_are_named(self):
+        executor = AdamantExecutor()
+        device = plug(executor, BrokenCostDevice, GPU_RTX_2080_TI)
+        with pytest.raises(AssertionError,
+                           match="cost-model contract violated"):
+            check_cost_model(device)
+
+    def test_leaky_release_is_named(self, tiny_catalog):
+        with pytest.raises(AssertionError,
+                           match="release contract violated"):
+            check_unplug_teardown(LeakyReleaseDevice, GPU_RTX_2080_TI,
+                                  tiny_catalog)
+
+
+# ---------------------------------------------------------------------------
+# Zero-engine-edit guard: the plug-ins must not know the runtime
+# ---------------------------------------------------------------------------
+
+_SRC = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
+NEW_DEVICE_MODULES = [_SRC / "devices" / "rtcore.py",
+                      _SRC / "devices" / "coupled.py"]
+#: Packages the plug-in surface promises never to touch: the runtime
+#: (executor, models, scheduler-owning engine) and the planner.
+RUNTIME_PACKAGES = ("repro.engine", "repro.core", "repro.planner")
+
+
+def _imported_modules(path: pathlib.Path) -> set[str]:
+    modules = set()
+    for node in ast.walk(ast.parse(path.read_text())):
+        if isinstance(node, ast.Import):
+            modules.update(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            modules.add(node.module)
+    return modules
+
+
+class TestZeroEngineEdits:
+    def test_new_devices_import_no_runtime_modules(self):
+        for path in NEW_DEVICE_MODULES:
+            bad = {m for m in _imported_modules(path)
+                   if m.startswith(RUNTIME_PACKAGES)}
+            assert not bad, (
+                f"{path.name} imports runtime modules {sorted(bad)} — "
+                f"device plug-ins must integrate through the device/"
+                f"task/hardware layers alone")
+
+    def test_runtime_sources_do_not_name_the_plugins(self):
+        """The engine, core runtime and scheduler contain no reference
+        to the new devices — integration is via the plug-in surface."""
+        for package in ("engine", "core", "planner"):
+            for source in sorted((_SRC / package).rglob("*.py")):
+                text = source.read_text()
+                for marker in ("rtcore", "RTCore", "coupled", "Coupled"):
+                    assert marker not in text, (
+                        f"{source.relative_to(_SRC.parent)} mentions "
+                        f"{marker!r}; the runtime must not special-case "
+                        f"plug-in devices")
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis properties: the new devices' defining invariants
+# ---------------------------------------------------------------------------
+
+_RT_COST = AdamantExecutor().plug_device(
+    "rt", RTCoreDevice, GPU_RTX_3090).cost
+
+
+class TestRTCorePricingProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(lo=st.integers(1, 2**34), hi=st.integers(1, 2**34),
+           primitive=st.sampled_from(["hash_probe", "filter_bitmap",
+                                      "filter_position"]))
+    def test_traversal_pricing_monotone_in_probe_count(self, lo, hi,
+                                                       primitive):
+        """Cost is non-increasing as selectivity drops: fewer probes
+        can never price *higher* (sub-linear, but still monotone)."""
+        lo, hi = min(lo, hi), max(lo, hi)
+        cheap = _RT_COST.kernel_seconds(primitive, lo)
+        dear = _RT_COST.kernel_seconds(primitive, hi)
+        assert 0.0 < cheap <= dear
+
+    @settings(max_examples=50, deadline=None)
+    @given(n=st.integers(1, 2**34))
+    def test_traversal_is_sublinear(self, n):
+        """Doubling the probe batch less than doubles its cost."""
+        assert _RT_COST.kernel_seconds("hash_probe", 2 * n) \
+            < 2.0 * _RT_COST.kernel_seconds("hash_probe", n)
+
+
+class TestCoupledZeroCopyProperties:
+    @settings(max_examples=12, deadline=None)
+    @given(model=st.sampled_from(["chunked", "pipelined",
+                                  "four_phase_pipelined", "zero_copy"]),
+           chunk=st.sampled_from([512, 2048, 8192]))
+    def test_no_h2d_bytes_ever_counted(self, model, chunk):
+        """The zero-copy invariant: whatever the execution model and
+        chunking, a coupled device moves zero bytes host-to-device."""
+        executor = AdamantExecutor()
+        plug(executor, CoupledDevice, APU_RYZEN_7_8700G, name="apu",
+             default=True)
+        result = executor.run(q6.build(), CATALOG, model=model,
+                              chunk_size=chunk)
+        assert result.stats.makespan > 0.0
+        for direction in ("h2d", "d2h"):
+            assert executor.metrics.value(
+                "adamant_transfer_bytes_total", device="apu",
+                direction=direction) == 0.0
